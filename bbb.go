@@ -1,0 +1,207 @@
+// Package bbb is a full-system reproduction of "BBB: Simplifying Persistent
+// Programming using Battery-Backed Buffers" (Alshboul et al., HPCA 2021).
+//
+// It bundles an event-driven multicore simulator — out-of-order-committing
+// cores with store buffers, private L1Ds, a shared inclusive L2 kept
+// coherent by a directory MESI protocol, DRAM and NVMM controllers with an
+// ADR write-pending queue — together with four persistency schemes layered
+// on it:
+//
+//   - PMEM: the strict-persistency baseline needing explicit clwb+sfence,
+//   - eADR: battery-backed caches (flush-on-fail over the whole hierarchy),
+//   - BBB: the paper's battery-backed persist buffers beside each L1D,
+//   - BBBProc: the processor-side bbPB organization used as a comparison.
+//
+// The package exposes the Table IV workloads (rtree, ctree, hashmap, array
+// mutate/swap), crash-injection campaigns with per-structure recovery
+// checkers, the §IV-C energy/battery cost model, and experiment drivers
+// that regenerate every table and figure of the paper's evaluation
+// (see EXPERIMENTS.md).
+//
+// Quick start:
+//
+//	res := bbb.Run("hashmap", bbb.SchemeBBB, bbb.Options{})
+//	fmt.Println(res.Cycles, res.NVMMWrites)
+package bbb
+
+import (
+	"fmt"
+	"io"
+
+	"bbb/internal/engine"
+	"bbb/internal/persistency"
+	"bbb/internal/recovery"
+	"bbb/internal/system"
+	"bbb/internal/workload"
+)
+
+// Scheme selects a persistency scheme.
+type Scheme = persistency.Scheme
+
+// The Table I schemes plus the two extension designs.
+const (
+	SchemePMEM    = persistency.PMEM
+	SchemeEADR    = persistency.EADR
+	SchemeBBB     = persistency.BBB
+	SchemeBBBProc = persistency.BBBProc
+	SchemeBEP     = persistency.BEP
+	SchemeNVCache = persistency.NVCache
+)
+
+// ParseScheme converts a name ("pmem", "eadr", "bbb", "bbb-proc").
+func ParseScheme(name string) (Scheme, error) { return persistency.ParseScheme(name) }
+
+// Result is re-exported from the system package.
+type Result = system.Result
+
+// Options tune a run; the zero value reproduces the paper's Table III
+// machine at a simulation-friendly workload scale.
+type Options struct {
+	// Threads is the number of cores/threads (default 8, as the paper).
+	Threads int
+	// OpsPerThread scales the workload (default 1000).
+	OpsPerThread int
+	// BBPBEntries sizes the persist buffers (default 32).
+	BBPBEntries int
+	// DrainThreshold is the bbPB drain occupancy threshold (default 0.75).
+	DrainThreshold float64
+	// NoBarriers omits PersistBarrier calls (the Figure 2 variant).
+	NoBarriers bool
+	// Seed fixes the workload RNG (default 1).
+	Seed int64
+	// L1Size/L2Size override the Table III cache sizes when nonzero, to
+	// scale cache pressure with scaled-down workloads.
+	L1Size, L2Size int
+	// TrackWear enables per-line NVMM write-distribution accounting
+	// (Result.Wear), for endurance analysis beyond Fig. 7b's totals.
+	TrackWear bool
+	// TraceCapacity, when positive, retains the last N microarchitectural
+	// events (persist commits, bbPB traffic, coherence actions, WPQ
+	// activity) for inspection via Machine.DumpTrace or bbbsim -trace.
+	TraceCapacity int
+	// StorePrefetch enables request-for-ownership prefetching of buffered
+	// stores' lines, recovering some of the memory-level parallelism an
+	// out-of-order core would have (the in-order store-buffer drain is the
+	// main simplification vs the paper's 8-wide OoO cores).
+	StorePrefetch bool
+	// RelaxedConsistency lets buffered stores commit to the L1D out of
+	// program order (same-address order always kept) — the §III-C relaxed
+	// memory-consistency case, where program-order persistency rests on
+	// the battery-backed store buffer alone.
+	RelaxedConsistency bool
+}
+
+func (o Options) params() workload.Params {
+	p := workload.DefaultParams()
+	if o.Threads > 0 {
+		p.Threads = o.Threads
+	}
+	p.OpsPerThread = 1000
+	if o.OpsPerThread > 0 {
+		p.OpsPerThread = o.OpsPerThread
+	}
+	if o.Seed != 0 {
+		p.Seed = o.Seed
+	}
+	p.NoBarriers = o.NoBarriers
+	return p
+}
+
+func (o Options) sysConfig(s Scheme) system.Config {
+	cfg := system.DefaultConfig(s)
+	if o.BBPBEntries > 0 {
+		cfg.BBPB.Entries = o.BBPBEntries
+	}
+	if o.DrainThreshold > 0 {
+		cfg.BBPB.DrainThreshold = o.DrainThreshold
+	}
+	if o.L1Size > 0 {
+		cfg.Hierarchy.L1Size = o.L1Size
+	}
+	if o.L2Size > 0 {
+		cfg.Hierarchy.L2Size = o.L2Size
+	}
+	cfg.TrackWear = o.TrackWear
+	cfg.TraceCapacity = o.TraceCapacity
+	cfg.Core.StorePrefetch = o.StorePrefetch
+	cfg.Core.RelaxedSBDrain = o.RelaxedConsistency
+	return cfg
+}
+
+// Workloads returns the Table IV workload names, in the paper's order.
+func Workloads() []string {
+	var names []string
+	for _, w := range workload.Registry() {
+		names = append(names, w.Name())
+	}
+	return names
+}
+
+// Run executes one workload under one scheme to completion.
+func Run(workloadName string, s Scheme, o Options) (Result, error) {
+	w, err := workload.ByName(workloadName)
+	if err != nil {
+		return Result{}, err
+	}
+	return workload.Run(w, s, o.sysConfig(s), o.params()), nil
+}
+
+// MustRun is Run for callers with vetted names (benchmarks, examples).
+func MustRun(workloadName string, s Scheme, o Options) Result {
+	r, err := Run(workloadName, s, o)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// RunTraced is Run plus a dump of the retained microarchitectural trace to
+// w after the run. Set Options.TraceCapacity to bound the tail kept.
+func RunTraced(workloadName string, s Scheme, o Options, w io.Writer) (Result, error) {
+	wl, err := workload.ByName(workloadName)
+	if err != nil {
+		return Result{}, err
+	}
+	if o.TraceCapacity == 0 {
+		o.TraceCapacity = 4096
+	}
+	sys, progs := workload.Build(wl, s, o.sysConfig(s), o.params())
+	defer sys.Shutdown()
+	res := sys.Run(progs)
+	if rec := sys.Trace(); rec != nil && w != nil {
+		rec.Dump(w)
+	}
+	return res, nil
+}
+
+// CrashCampaign sweeps crash points over a workload run and checks the
+// durable image at each; see the recovery package for details.
+func CrashCampaign(workloadName string, s Scheme, o Options, points int, first, step engine.Cycle) (recovery.Report, error) {
+	w, err := workload.ByName(workloadName)
+	if err != nil {
+		return recovery.Report{}, err
+	}
+	cc := recovery.CampaignConfig{
+		Workload:   w,
+		Scheme:     s,
+		System:     o.sysConfig(s),
+		Params:     o.params(),
+		FirstCrash: first,
+		Step:       step,
+		Points:     points,
+	}
+	return cc.Run(), nil
+}
+
+// SchemeTraits returns the Table I qualitative row for a scheme.
+func SchemeTraits(s Scheme) persistency.Traits { return persistency.TraitsOf(s) }
+
+// Version identifies the reproduction, not the paper.
+const Version = "1.0.0"
+
+func init() {
+	// Guard against the internal registry drifting from Table IV.
+	if len(workload.Registry()) != 7 {
+		panic(fmt.Sprintf("bbb: Table IV registry has %d workloads", len(workload.Registry())))
+	}
+}

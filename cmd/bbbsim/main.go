@@ -1,0 +1,79 @@
+// Command bbbsim runs one workload under one persistency scheme on the
+// simulated Table III machine and prints the run's statistics.
+//
+// Usage:
+//
+//	bbbsim -workload hashmap -scheme bbb -ops 1000
+//	bbbsim -workload rtree -scheme pmem -no-barriers
+//	bbbsim -workload mutateC -scheme bbb -entries 8 -verbose
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"bbb"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bbbsim: ")
+	var (
+		wl         = flag.String("workload", "hashmap", "workload: "+strings.Join(bbb.Workloads(), ", ")+", linkedlist")
+		scheme     = flag.String("scheme", "bbb", "persistency scheme: pmem, eadr, bbb, bbb-proc")
+		ops        = flag.Int("ops", 1000, "operations per thread")
+		threads    = flag.Int("threads", 8, "threads/cores")
+		entries    = flag.Int("entries", 32, "bbPB entries per core")
+		threshold  = flag.Float64("threshold", 0.75, "bbPB drain occupancy threshold")
+		noBarriers = flag.Bool("no-barriers", false, "omit persist barriers (the Figure 2 variant)")
+		seed       = flag.Int64("seed", 1, "workload RNG seed")
+		verbose    = flag.Bool("verbose", false, "dump all component counters")
+		traceN     = flag.Int("trace", 0, "dump the last N microarchitectural events after the run")
+	)
+	flag.Parse()
+
+	s, err := bbb.ParseScheme(*scheme)
+	if err != nil {
+		log.Fatal(err)
+	}
+	o := bbb.Options{
+		Threads:        *threads,
+		OpsPerThread:   *ops,
+		BBPBEntries:    *entries,
+		DrainThreshold: *threshold,
+		NoBarriers:     *noBarriers,
+		Seed:           *seed,
+	}
+	var res bbb.Result
+	if *traceN > 0 {
+		o.TraceCapacity = *traceN
+		fmt.Printf("--- last %d microarchitectural events ---\n", *traceN)
+		res, err = bbb.RunTraced(*wl, s, o, os.Stdout)
+		fmt.Println("---")
+	} else {
+		res, err = bbb.Run(*wl, s, o)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload            %s (%d threads x %d ops)\n", *wl, *threads, *ops)
+	fmt.Printf("scheme              %s\n", s)
+	fmt.Printf("execution cycles    %d (%.3f ms at 2 GHz)\n", res.Cycles, float64(res.Cycles)/2e6)
+	fmt.Printf("stores              %d (%d persisting, %.1f%%)\n",
+		res.Stores, res.PersistingStores, 100*float64(res.PersistingStores)/float64(res.Stores))
+	fmt.Printf("loads               %d\n", res.Loads)
+	fmt.Printf("NVMM writes         %d\n", res.NVMMWrites)
+	fmt.Printf("bbPB rejections     %d\n", res.Rejections)
+	fmt.Printf("bbPB drains         %d (%d forced by LLC inclusion)\n", res.Drains, res.ForcedDrains)
+	fmt.Printf("skipped writebacks  %d\n", res.SkippedWritebacks)
+	fmt.Printf("SB stall cycles     %d\n", res.StallCycles)
+	fmt.Printf("dirty cache lines   %.1f%% (paper assumes 44.9%% for eADR estimates)\n", 100*res.DirtyFraction)
+	if *verbose {
+		fmt.Println("\ncomponent counters:")
+		fmt.Fprint(os.Stdout, res.Counters.String())
+	}
+}

@@ -1,0 +1,110 @@
+// Kvstore: a custom persistent key-value store built directly on the
+// public Machine API, demonstrating how a downstream user writes their own
+// crash-consistent structure for the simulator instead of using the canned
+// Table IV workloads.
+//
+// The store is a fixed-bucket chained hash table. The insertion code uses
+// BBB-style ordering discipline — initialize the record fully, then publish
+// it with a single pointer store — and contains not a single flush or
+// fence. The demo crashes the machine mid-run and then recovers: it walks
+// the durable NVMM image, counts the surviving records, and verifies every
+// reachable record is intact.
+//
+//	go run ./examples/kvstore
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bbb"
+)
+
+const (
+	buckets  = 256
+	perCore  = 500
+	threads  = 4
+	magicRec = 0x5EED_F00D
+
+	offMagic = 0
+	offKey   = 8
+	offVal   = 16
+	offNext  = 24
+	recSize  = 32
+)
+
+func main() {
+	log.SetFlags(0)
+	m := bbb.NewMachine(bbb.SchemeBBB, bbb.Options{Threads: threads})
+
+	// Persistent layout: a bucket array plus a record pool per thread.
+	table := m.PAlloc(buckets * 8)
+	pools := make([]bbb.Addr, threads)
+	for t := range pools {
+		pools[t] = m.PAlloc(perCore * 64)
+	}
+
+	hash := func(k uint64) uint64 {
+		k ^= k >> 33
+		k *= 0xff51afd7ed558ccd
+		return (k ^ k>>29) % buckets
+	}
+
+	// One program per core; thread t owns buckets where b%threads == t, so
+	// publishes never race (the simulator models plain stores, not CAS).
+	programs := make([]func(bbb.Env), threads)
+	for t := 0; t < threads; t++ {
+		t := t
+		programs[t] = func(e bbb.Env) {
+			next := pools[t]
+			for i := 0; i < perCore; i++ {
+				key := uint64(t)<<32 | uint64(i)*2654435761
+				b := hash(key)
+				if int(b)%threads != t {
+					continue // not this thread's bucket
+				}
+				cell := table + bbb.Addr(b*8)
+				head := e.Load(cell, 8)
+				rec := next
+				next += 64
+				e.Store(rec+offKey, 8, key)
+				e.Store(rec+offVal, 8, key^0xABCD)
+				e.Store(rec+offNext, 8, head)
+				e.Store(rec+offMagic, 8, magicRec)
+				// Publish with one store. No barrier anywhere: BBB already
+				// persists in program order.
+				e.Store(cell, 8, uint64(rec))
+			}
+		}
+	}
+
+	finished, drained := m.RunUntilCrash(120_000, programs...)
+	fmt.Printf("crash injected (finished=%v); battery drained %d lines (%d bbPB, %d WPQ, %d SB stores)\n",
+		finished, drained.Lines(), drained.BufLines, drained.WPQLines, drained.SBStores)
+
+	// --- recovery: walk the durable image exactly like restart code would.
+	records, broken := 0, 0
+	for b := uint64(0); b < buckets; b++ {
+		ptr := m.Peek64(table + bbb.Addr(b*8))
+		for ptr != 0 {
+			rec := bbb.Addr(ptr)
+			if m.Peek64(rec+offMagic) != magicRec {
+				broken++
+				break
+			}
+			key := m.Peek64(rec + offKey)
+			if m.Peek64(rec+offVal) != key^0xABCD || hash(key) != b {
+				broken++
+				break
+			}
+			records++
+			ptr = m.Peek64(rec + offNext)
+		}
+	}
+	fmt.Printf("recovery walk: %d records intact, %d broken chains\n", records, broken)
+	if broken > 0 {
+		log.Fatal("persist ordering violated — should be impossible under BBB")
+	}
+	fmt.Println("every record reachable after the crash is fully intact: strict persistency,")
+	fmt.Println("zero barriers, a battery the size of a few cache lines per core.")
+}

@@ -1,0 +1,304 @@
+package bbb
+
+import (
+	"fmt"
+
+	"bbb/internal/persistency"
+	"bbb/internal/stats"
+	"bbb/internal/workload"
+)
+
+// persistencySchemes returns every implemented scheme, Table I order first.
+func persistencySchemes() []Scheme { return persistency.Schemes() }
+
+// Fig7Row is one workload's bars in Figures 7(a) and 7(b): execution time
+// and NVMM writes for BBB-32 and BBB-1024, normalized to eADR (= 1.0).
+type Fig7Row struct {
+	Workload string
+	// ExecTime[scheme] and Writes[scheme] are normalized to eADR.
+	ExecBBB32     float64
+	ExecBBB1024   float64
+	WritesBBB32   float64
+	WritesBBB1024 float64
+	// Raw eADR values, for context.
+	EADRCycles uint64
+	EADRWrites uint64
+}
+
+// Fig7Result carries the whole figure plus its summary statistics.
+type Fig7Result struct {
+	Rows []Fig7Row
+	// The paper's headline numbers: ~1% mean slowdown / 2.8% worst for
+	// BBB-32; +4.9% mean writes.
+	MeanExecOverheadBBB32    float64 // geomean(exec)-1
+	WorstExecOverheadBBB32   float64
+	MeanWriteOverheadBBB32   float64
+	MeanWriteOverheadBBB1024 float64
+}
+
+// RunFig7 regenerates Figure 7: every Table IV workload under eADR, BBB-32
+// and BBB-1024.
+func RunFig7(o Options) Fig7Result {
+	var out Fig7Result
+	var execs, writes32, writes1024 []float64
+	for _, w := range workload.Registry() {
+		eadr := MustRun(w.Name(), SchemeEADR, o)
+
+		o32 := o
+		o32.BBPBEntries = 32
+		b32 := MustRun(w.Name(), SchemeBBB, o32)
+
+		o1024 := o
+		o1024.BBPBEntries = 1024
+		b1024 := MustRun(w.Name(), SchemeBBB, o1024)
+
+		row := Fig7Row{
+			Workload:      w.Name(),
+			ExecBBB32:     stats.Ratio(float64(b32.Cycles), float64(eadr.Cycles)),
+			ExecBBB1024:   stats.Ratio(float64(b1024.Cycles), float64(eadr.Cycles)),
+			WritesBBB32:   stats.Ratio(float64(b32.NVMMWrites), float64(eadr.NVMMWrites)),
+			WritesBBB1024: stats.Ratio(float64(b1024.NVMMWrites), float64(eadr.NVMMWrites)),
+			EADRCycles:    eadr.Cycles,
+			EADRWrites:    eadr.NVMMWrites,
+		}
+		out.Rows = append(out.Rows, row)
+		execs = append(execs, row.ExecBBB32)
+		writes32 = append(writes32, row.WritesBBB32)
+		writes1024 = append(writes1024, row.WritesBBB1024)
+	}
+	out.MeanExecOverheadBBB32 = stats.Geomean(execs) - 1
+	out.WorstExecOverheadBBB32 = stats.Max(execs) - 1
+	out.MeanWriteOverheadBBB32 = stats.Geomean(writes32) - 1
+	out.MeanWriteOverheadBBB1024 = stats.Geomean(writes1024) - 1
+	return out
+}
+
+// ProcSideWriteRatio reproduces §V-C's processor-side comparison: the mean
+// NVMM-write ratio of the processor-side organization to eADR (the paper
+// reports ~2.8x).
+func ProcSideWriteRatio(o Options) float64 {
+	var ratios []float64
+	for _, w := range workload.Registry() {
+		eadr := MustRun(w.Name(), SchemeEADR, o)
+		proc := MustRun(w.Name(), SchemeBBBProc, o)
+		ratios = append(ratios, stats.Ratio(float64(proc.NVMMWrites), float64(eadr.NVMMWrites)))
+	}
+	return stats.Geomean(ratios)
+}
+
+// Fig8Point is one bbPB size in the Figure 8 sensitivity sweep: workload
+// geomeans normalized to the 1-entry configuration.
+type Fig8Point struct {
+	Entries    int
+	Rejections float64 // (a) persist rejections due to full bbPB
+	ExecTime   float64 // (b) execution time
+	Drains     float64 // (c) bbPB drains to NVMM
+}
+
+// Fig8Sizes is the paper's sweep.
+var Fig8Sizes = []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// RunFig8 regenerates Figure 8: geomean impact of bbPB size on rejections,
+// execution time, and drains, normalized to a 1-entry bbPB.
+func RunFig8(o Options, sizes []int) []Fig8Point {
+	if len(sizes) == 0 {
+		sizes = Fig8Sizes
+	}
+	reg := workload.Registry()
+	type raw struct{ rej, exec, drains []float64 }
+	perSize := make([]raw, len(sizes))
+	for _, w := range reg {
+		for i, n := range sizes {
+			on := o
+			on.BBPBEntries = n
+			r := MustRun(w.Name(), SchemeBBB, on)
+			// Geomean needs positive values; +1 shifts zero counts.
+			perSize[i].rej = append(perSize[i].rej, float64(r.Rejections)+1)
+			perSize[i].exec = append(perSize[i].exec, float64(r.Cycles))
+			perSize[i].drains = append(perSize[i].drains, float64(r.Drains)+1)
+		}
+	}
+	base := perSize[0]
+	baseRej, baseExec, baseDrains := stats.Geomean(base.rej), stats.Geomean(base.exec), stats.Geomean(base.drains)
+	var out []Fig8Point
+	for i, n := range sizes {
+		out = append(out, Fig8Point{
+			Entries:    n,
+			Rejections: stats.Geomean(perSize[i].rej) / baseRej,
+			ExecTime:   stats.Geomean(perSize[i].exec) / baseExec,
+			Drains:     stats.Geomean(perSize[i].drains) / baseDrains,
+		})
+	}
+	return out
+}
+
+// PStoreRow is one Table IV row: measured persistent-store fraction.
+type PStoreRow struct {
+	Workload    string
+	Description string
+	MeasuredPct float64
+	PaperPct    float64
+}
+
+// RunTable4 measures the store mix of every workload (Table IV's %P-stores
+// column) on the eADR machine, where no persistency mechanism perturbs it.
+func RunTable4(o Options) []PStoreRow {
+	var rows []PStoreRow
+	for _, w := range workload.Registry() {
+		r := MustRun(w.Name(), SchemeEADR, o)
+		rows = append(rows, PStoreRow{
+			Workload:    w.Name(),
+			Description: w.Description(),
+			MeasuredPct: 100 * float64(r.PersistingStores) / float64(r.Stores),
+			PaperPct:    w.PaperPStores(),
+		})
+	}
+	return rows
+}
+
+// SeedSweep is the multi-seed robustness summary for one (workload,
+// scheme) normalized metric: the paper reports single runs; a
+// production-quality harness should show how stable those numbers are
+// across workload randomness.
+type SeedSweep struct {
+	Workload string
+	// ExecRatio and WriteRatio are BBB-32 normalized to eADR, summarized
+	// over seeds.
+	ExecMean, ExecStdDev   float64
+	WriteMean, WriteStdDev float64
+	Seeds                  int
+}
+
+// RunSeedSweep reruns the Fig. 7 comparison for one workload across seeds.
+func RunSeedSweep(workloadName string, o Options, seeds []int64) (SeedSweep, error) {
+	if len(seeds) == 0 {
+		seeds = []int64{1, 2, 3, 4, 5}
+	}
+	var exec, writes stats.Distribution
+	for _, seed := range seeds {
+		os := o
+		os.Seed = seed
+		eadr, err := Run(workloadName, SchemeEADR, os)
+		if err != nil {
+			return SeedSweep{}, err
+		}
+		bbb, err := Run(workloadName, SchemeBBB, os)
+		if err != nil {
+			return SeedSweep{}, err
+		}
+		exec.Observe(stats.Ratio(float64(bbb.Cycles), float64(eadr.Cycles)))
+		writes.Observe(stats.Ratio(float64(bbb.NVMMWrites), float64(eadr.NVMMWrites)))
+	}
+	return SeedSweep{
+		Workload:    workloadName,
+		ExecMean:    exec.Mean(),
+		ExecStdDev:  exec.StdDev(),
+		WriteMean:   writes.Mean(),
+		WriteStdDev: writes.StdDev(),
+		Seeds:       len(seeds),
+	}, nil
+}
+
+// SchemeRow is one (workload, scheme) cell of the extended comparison that
+// also covers the BEP and NVCache designs the paper discusses
+// qualitatively.
+type SchemeRow struct {
+	Workload   string
+	Scheme     Scheme
+	Cycles     uint64
+	NVMMWrites uint64
+	Rejections uint64
+	// WearMax / WearMean describe the per-line NVMM write distribution
+	// (endurance: the hottest line wears out first).
+	WearMax  uint64
+	WearMean float64
+}
+
+// RunSchemeComparison sweeps one workload over every scheme with wear
+// tracking on — the endurance ablation behind the paper's §V-C argument
+// that memory-side coalescing and skipped writebacks protect NVMM lifetime.
+func RunSchemeComparison(workloadName string, o Options) ([]SchemeRow, error) {
+	o.TrackWear = true
+	var rows []SchemeRow
+	for _, s := range persistencySchemes() {
+		r, err := Run(workloadName, s, o)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SchemeRow{
+			Workload:   workloadName,
+			Scheme:     s,
+			Cycles:     r.Cycles,
+			NVMMWrites: r.NVMMWrites,
+			Rejections: r.Rejections,
+			WearMax:    r.Wear.MaxWrites,
+			WearMean:   r.Wear.MeanWrites,
+		})
+	}
+	return rows, nil
+}
+
+// WPQDepthPoint is one cell of the write-pending-queue depth ablation: the
+// WPQ is the ADR persistence domain below the bbPBs, so its depth bounds
+// how much persist traffic the controller can absorb before backpressure
+// reaches the buffers and then the cores.
+type WPQDepthPoint struct {
+	Entries    int
+	Cycles     uint64
+	NVMMWrites uint64
+	FullStalls uint64
+}
+
+// RunWPQDepthAblation sweeps the NVMM WPQ depth on one workload under BBB.
+func RunWPQDepthAblation(workloadName string, o Options, depths []int) ([]WPQDepthPoint, error) {
+	if len(depths) == 0 {
+		depths = []int{4, 8, 16, 32, 64}
+	}
+	w, err := workload.ByName(workloadName)
+	if err != nil {
+		return nil, err
+	}
+	var out []WPQDepthPoint
+	for _, d := range depths {
+		cfg := o.sysConfig(SchemeBBB)
+		cfg.NVMM.WPQEntries = d
+		r := workload.Run(w, SchemeBBB, cfg, o.params())
+		out = append(out, WPQDepthPoint{
+			Entries:    d,
+			Cycles:     r.Cycles,
+			NVMMWrites: r.NVMMWrites,
+			FullStalls: r.Counters.Get("nvmm.wpq_full_stalls"),
+		})
+	}
+	return out, nil
+}
+
+// DrainThresholdPoint is one cell of the drain-threshold ablation (§III-F:
+// "we found 75% threshold to work well for 32-entry bbPB").
+type DrainThresholdPoint struct {
+	Threshold  float64
+	Cycles     uint64
+	NVMMWrites uint64
+	Rejections uint64
+}
+
+// RunDrainThresholdAblation sweeps the bbPB drain threshold on one
+// workload, holding everything else at defaults.
+func RunDrainThresholdAblation(workloadName string, o Options, thresholds []float64) ([]DrainThresholdPoint, error) {
+	if len(thresholds) == 0 {
+		thresholds = []float64{0.125, 0.25, 0.5, 0.75, 0.9}
+	}
+	var out []DrainThresholdPoint
+	for _, th := range thresholds {
+		ot := o
+		ot.DrainThreshold = th
+		r, err := Run(workloadName, SchemeBBB, ot)
+		if err != nil {
+			return nil, fmt.Errorf("threshold %.2f: %w", th, err)
+		}
+		out = append(out, DrainThresholdPoint{
+			Threshold: th, Cycles: r.Cycles, NVMMWrites: r.NVMMWrites, Rejections: r.Rejections,
+		})
+	}
+	return out, nil
+}

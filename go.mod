@@ -1,0 +1,3 @@
+module bbb
+
+go 1.22

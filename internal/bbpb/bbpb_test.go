@@ -1,0 +1,273 @@
+package bbpb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bbb/internal/engine"
+	"bbb/internal/memctrl"
+	"bbb/internal/memory"
+)
+
+func setup(t *testing.T, entries int) (*engine.Engine, *memory.Memory, *memctrl.Controller, Config) {
+	t.Helper()
+	eng := engine.New()
+	mem := memory.New(memory.DefaultLayout())
+	nvmm := memctrl.New(memctrl.DefaultNVMM(), eng, mem)
+	return eng, mem, nvmm, Config{Entries: entries, DrainThreshold: 0.75}
+}
+
+func addrOf(mem *memory.Memory, n uint64) memory.Addr {
+	return mem.Layout().PersistentBase + memory.Addr(n)*memory.LineSize
+}
+
+func lineOf(v byte) [memory.LineSize]byte {
+	var d [memory.LineSize]byte
+	for i := range d {
+		d[i] = v
+	}
+	return d
+}
+
+func TestPutAndCoalesce(t *testing.T) {
+	eng, mem, nvmm, cfg := setup(t, 8)
+	b := New(cfg, 0, eng, nvmm)
+	a := addrOf(mem, 1)
+	d1, d2 := lineOf(1), lineOf(2)
+	if !b.Put(a, &d1) {
+		t.Fatal("first Put rejected")
+	}
+	if !b.Put(a, &d2) {
+		t.Fatal("coalescing Put rejected")
+	}
+	if b.Occupancy() != 1 {
+		t.Fatalf("occupancy = %d, want 1", b.Occupancy())
+	}
+	if b.Counters().Get("bbpb.coalesced") != 1 {
+		t.Fatal("coalesce not counted")
+	}
+	data, ok := b.Remove(a)
+	if !ok || data[0] != 2 {
+		t.Fatalf("Remove = %v %v, want latest data 2", data[0], ok)
+	}
+}
+
+func TestRejectionWhenFull(t *testing.T) {
+	eng, mem, nvmm, cfg := setup(t, 2)
+	cfg.DrainThreshold = 1.0 // never drain, to force fullness
+	b := New(cfg, 0, eng, nvmm)
+	d := lineOf(9)
+	for i := uint64(0); i < 2; i++ {
+		if !b.Put(addrOf(mem, i), &d) {
+			t.Fatalf("Put %d rejected early", i)
+		}
+	}
+	if b.Put(addrOf(mem, 99), &d) {
+		t.Fatal("Put should be rejected when full")
+	}
+	if b.Counters().Get("bbpb.rejections") != 1 {
+		t.Fatal("rejection not counted")
+	}
+	// Coalescing to a resident block still succeeds while full (§III-B).
+	if !b.Put(addrOf(mem, 1), &d) {
+		t.Fatal("coalescing Put must succeed even when full")
+	}
+	_ = eng
+}
+
+func TestThresholdDrainToNVMM(t *testing.T) {
+	eng, mem, nvmm, cfg := setup(t, 8) // threshold 6
+	b := New(cfg, 0, eng, nvmm)
+	for i := uint64(0); i < 8; i++ {
+		d := lineOf(byte(i))
+		b.Put(addrOf(mem, i), &d)
+	}
+	eng.Run()
+	if b.Occupancy() > 6 {
+		t.Fatalf("occupancy = %d after draining, want <= 6", b.Occupancy())
+	}
+	if b.Counters().Get("bbpb.drains") == 0 {
+		t.Fatal("no drains despite exceeding threshold")
+	}
+	// Drained lines are durable (in WPQ or medium).
+	nvmm.CrashDrain()
+	var got [memory.LineSize]byte
+	mem.PeekLine(addrOf(mem, 0), &got)
+	if got[0] != 0 && got[1] != 0 { // line 0 holds zeros; check line 1 instead
+		t.Fatal("unexpected data")
+	}
+	mem.PeekLine(addrOf(mem, 1), &got)
+	if got[0] != 1 {
+		t.Fatalf("drained line = %d, want 1", got[0])
+	}
+}
+
+func TestForceDrain(t *testing.T) {
+	eng, mem, nvmm, cfg := setup(t, 8)
+	b := New(cfg, 0, eng, nvmm)
+	a := addrOf(mem, 3)
+	d := lineOf(7)
+	b.Put(a, &d)
+	drained := false
+	b.ForceDrain(a, func() { drained = true })
+	eng.Run()
+	if !drained {
+		t.Fatal("ForceDrain done never fired")
+	}
+	if b.Has(a) {
+		t.Fatal("entry still present after forced drain")
+	}
+	nvmm.CrashDrain()
+	var got [memory.LineSize]byte
+	mem.PeekLine(a, &got)
+	if got[0] != 7 {
+		t.Fatal("forced drain did not reach durability")
+	}
+	if b.Counters().Get("bbpb.forced_drains") != 1 {
+		t.Fatal("forced drain not counted")
+	}
+}
+
+func TestForceDrainAbsent(t *testing.T) {
+	eng, mem, nvmm, cfg := setup(t, 8)
+	b := New(cfg, 0, eng, nvmm)
+	fired := false
+	b.ForceDrain(addrOf(mem, 5), func() { fired = true })
+	eng.Run()
+	if !fired {
+		t.Fatal("ForceDrain on absent entry must still call done")
+	}
+}
+
+func TestWaitSpace(t *testing.T) {
+	eng, mem, nvmm, cfg := setup(t, 2)
+	cfg.DrainThreshold = 1.0
+	b := New(cfg, 0, eng, nvmm)
+	d := lineOf(1)
+	b.Put(addrOf(mem, 0), &d)
+	b.Put(addrOf(mem, 1), &d)
+	woken := false
+	b.WaitSpace(func() { woken = true })
+	eng.Run()
+	if woken {
+		t.Fatal("waiter woke without space freeing")
+	}
+	b.Remove(addrOf(mem, 0))
+	eng.Run()
+	if !woken {
+		t.Fatal("waiter not woken after Remove freed space")
+	}
+}
+
+func TestCrashDrain(t *testing.T) {
+	eng, mem, nvmm, cfg := setup(t, 8)
+	b := New(cfg, 0, eng, nvmm)
+	for i := uint64(0); i < 3; i++ {
+		d := lineOf(byte(10 + i))
+		b.Put(addrOf(mem, i), &d)
+	}
+	_ = eng
+	n := b.CrashDrain(func(a memory.Addr, d *[memory.LineSize]byte) {
+		mem.WriteLine(a, d)
+	})
+	if n != 3 {
+		t.Fatalf("CrashDrain = %d, want 3", n)
+	}
+	if b.Occupancy() != 0 {
+		t.Fatal("entries remain after crash drain")
+	}
+	var got [memory.LineSize]byte
+	mem.PeekLine(addrOf(mem, 2), &got)
+	if got[0] != 12 {
+		t.Fatal("crash drain lost data")
+	}
+	_ = nvmm
+}
+
+func TestProcSideNoCrossBlockCoalesce(t *testing.T) {
+	eng, mem, nvmm, _ := setup(t, 8)
+	p := NewProcSide(Config{Entries: 8, DrainThreshold: 1.0}, 0, eng, nvmm)
+	a, b2 := addrOf(mem, 0), addrOf(mem, 1)
+	d := lineOf(1)
+	p.Put(a, &d)  // entry 1
+	p.Put(b2, &d) // entry 2
+	p.Put(a, &d)  // NOT consecutive with the first a: new entry
+	if p.Occupancy() != 3 {
+		t.Fatalf("occupancy = %d, want 3 (no cross-block coalescing)", p.Occupancy())
+	}
+	p.Put(a, &d) // consecutive same block: coalesces
+	if p.Occupancy() != 3 {
+		t.Fatalf("occupancy = %d, want 3 (consecutive coalesce)", p.Occupancy())
+	}
+}
+
+func TestProcSideInOrderDrain(t *testing.T) {
+	eng, mem, nvmm, _ := setup(t, 4)
+	p := NewProcSide(Config{Entries: 4, DrainThreshold: 0.0}, 0, eng, nvmm)
+	var order []memory.Addr
+	// Track medium write order via a tiny threshold so everything drains.
+	for i := uint64(0); i < 4; i++ {
+		d := lineOf(byte(i))
+		p.Put(addrOf(mem, 3-i), &d) // reverse addresses, program order 3,2,1,0
+	}
+	eng.Run()
+	// All entries drained to WPQ in program order; verify via allocations.
+	if p.Occupancy() != 0 {
+		t.Fatalf("occupancy = %d, want 0", p.Occupancy())
+	}
+	if p.Counters().Get("bbpb.drains") != 4 {
+		t.Fatalf("drains = %d, want 4", p.Counters().Get("bbpb.drains"))
+	}
+	_ = order
+}
+
+func TestProcSideForceDrain(t *testing.T) {
+	eng, mem, nvmm, _ := setup(t, 8)
+	p := NewProcSide(Config{Entries: 8, DrainThreshold: 1.0}, 0, eng, nvmm)
+	for i := uint64(0); i < 4; i++ {
+		d := lineOf(byte(i))
+		p.Put(addrOf(mem, i), &d)
+	}
+	done := false
+	p.ForceDrain(addrOf(mem, 2), func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("ForceDrain never completed")
+	}
+	// Entries 0,1,2 drained in order; entry 3 remains.
+	if p.Occupancy() != 1 {
+		t.Fatalf("occupancy = %d, want 1", p.Occupancy())
+	}
+	if p.Has(addrOf(mem, 2)) {
+		t.Fatal("target entry still present")
+	}
+	if !p.Has(addrOf(mem, 3)) {
+		t.Fatal("younger unrelated entry should remain")
+	}
+}
+
+// Property: a memory-side buffer never exceeds capacity, and Put only fails
+// when at capacity with a non-resident block.
+func TestPropertyCapacityInvariant(t *testing.T) {
+	f := func(ops []uint8) bool {
+		eng := engine.New()
+		mem := memory.New(memory.DefaultLayout())
+		nvmm := memctrl.New(memctrl.DefaultNVMM(), eng, mem)
+		b := New(Config{Entries: 4, DrainThreshold: 1.0}, 0, eng, nvmm)
+		for _, op := range ops {
+			a := addrOf(mem, uint64(op%16))
+			d := lineOf(op)
+			ok := b.Put(a, &d)
+			if b.Occupancy() > 4 {
+				return false
+			}
+			if !ok && b.Occupancy() < 4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

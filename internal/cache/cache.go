@@ -1,0 +1,210 @@
+// Package cache implements the set-associative SRAM cache arrays used for
+// the private L1D caches and the shared L2/LLC. It holds real line data so
+// the simulator is functionally executing, and carries the per-line MESI
+// state and the persistent-data bit that the BBB design adds (§III-B of the
+// paper: dirty persistent LLC victims are not written back because the bbPB
+// drain already covers them).
+package cache
+
+import (
+	"fmt"
+
+	"bbb/internal/memory"
+)
+
+// State is a MESI coherence state.
+type State int
+
+// MESI states. Invalid lines are simply absent from the array, but State
+// Invalid is used in protocol messages.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Line is one cache block.
+type Line struct {
+	Addr  memory.Addr // line-aligned address
+	State State
+	Dirty bool
+	// Persistent marks a block holding persistent data. Under BBB a dirty
+	// persistent LLC victim is silently dropped instead of written back.
+	Persistent bool
+	Data       [memory.LineSize]byte
+
+	lru uint64
+}
+
+// Cache is a set-associative array. It is a passive structure: all timing
+// and protocol behaviour lives in the coherence package.
+type Cache struct {
+	name     string
+	sets     int
+	ways     int
+	lines    []Line // sets*ways, invalid entries have State==Invalid
+	lruClock uint64
+
+	// Accesses and Misses count lookups for hit-rate reporting.
+	Accesses uint64
+	Misses   uint64
+}
+
+// New builds a cache of the given total size in bytes and associativity.
+// Size must be a multiple of ways*LineSize and the set count must be a power
+// of two.
+func New(name string, sizeBytes, ways int) *Cache {
+	if sizeBytes <= 0 || ways <= 0 {
+		panic("cache: size and ways must be positive")
+	}
+	lines := sizeBytes / memory.LineSize
+	if lines%ways != 0 {
+		panic(fmt.Sprintf("cache %s: %d lines not divisible by %d ways", name, lines, ways))
+	}
+	sets := lines / ways
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: set count %d not a power of two", name, sets))
+	}
+	return &Cache{
+		name:  name,
+		sets:  sets,
+		ways:  ways,
+		lines: make([]Line, lines),
+	}
+}
+
+// Name returns the cache's label (for diagnostics).
+func (c *Cache) Name() string { return c.name }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// SizeBytes returns the total data capacity.
+func (c *Cache) SizeBytes() int { return c.sets * c.ways * memory.LineSize }
+
+func (c *Cache) setIndex(addr memory.Addr) int {
+	return int(addr/memory.LineSize) & (c.sets - 1)
+}
+
+func (c *Cache) set(addr memory.Addr) []Line {
+	i := c.setIndex(addr)
+	return c.lines[i*c.ways : (i+1)*c.ways]
+}
+
+// Lookup returns the line holding addr, or nil. It counts an access and, on
+// nil, a miss, and refreshes LRU on a hit. addr must be line-aligned.
+func (c *Cache) Lookup(addr memory.Addr) *Line {
+	mustAligned(addr)
+	c.Accesses++
+	l := c.Probe(addr)
+	if l == nil {
+		c.Misses++
+		return nil
+	}
+	c.lruClock++
+	l.lru = c.lruClock
+	return l
+}
+
+// Probe returns the line holding addr without touching accounting or LRU.
+func (c *Cache) Probe(addr memory.Addr) *Line {
+	mustAligned(addr)
+	set := c.set(addr)
+	for i := range set {
+		if set[i].State != Invalid && set[i].Addr == addr {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Victim returns the line that would be evicted to make room for addr:
+// an invalid way if one exists, else the true-LRU line. The returned line
+// may then be overwritten via Fill. It never returns nil.
+func (c *Cache) Victim(addr memory.Addr) *Line {
+	mustAligned(addr)
+	set := c.set(addr)
+	var lru *Line
+	for i := range set {
+		if set[i].State == Invalid {
+			return &set[i]
+		}
+		if lru == nil || set[i].lru < lru.lru {
+			lru = &set[i]
+		}
+	}
+	return lru
+}
+
+// Fill installs addr into the given line (which must belong to addr's set)
+// with the given state and data, marking it most recently used.
+func (c *Cache) Fill(l *Line, addr memory.Addr, st State, data *[memory.LineSize]byte) {
+	mustAligned(addr)
+	if st == Invalid {
+		panic("cache: Fill with Invalid state")
+	}
+	c.lruClock++
+	*l = Line{Addr: addr, State: st, lru: c.lruClock}
+	if data != nil {
+		l.Data = *data
+	}
+}
+
+// Invalidate removes addr from the cache, returning the old line contents
+// (by value) and whether it was present.
+func (c *Cache) Invalidate(addr memory.Addr) (Line, bool) {
+	mustAligned(addr)
+	if l := c.Probe(addr); l != nil {
+		old := *l
+		l.State = Invalid
+		return old, true
+	}
+	return Line{}, false
+}
+
+// ForEach calls fn for every valid line. fn may mutate the line but must not
+// invalidate it.
+func (c *Cache) ForEach(fn func(*Line)) {
+	for i := range c.lines {
+		if c.lines[i].State != Invalid {
+			fn(&c.lines[i])
+		}
+	}
+}
+
+// CountValid returns the number of valid lines, and the number of those that
+// are dirty.
+func (c *Cache) CountValid() (valid, dirty int) {
+	c.ForEach(func(l *Line) {
+		valid++
+		if l.Dirty {
+			dirty++
+		}
+	})
+	return valid, dirty
+}
+
+func mustAligned(a memory.Addr) {
+	if a%memory.LineSize != 0 {
+		panic(fmt.Sprintf("cache: address %#x not line-aligned", a))
+	}
+}

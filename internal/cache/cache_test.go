@@ -1,0 +1,135 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bbb/internal/memory"
+)
+
+func line(n uint64) memory.Addr { return memory.Addr(n * memory.LineSize) }
+
+func TestNewGeometry(t *testing.T) {
+	c := New("L1", 128*1024, 8)
+	if c.Sets() != 256 || c.Ways() != 8 || c.SizeBytes() != 128*1024 {
+		t.Fatalf("sets=%d ways=%d size=%d", c.Sets(), c.Ways(), c.SizeBytes())
+	}
+}
+
+func TestNewBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two sets did not panic")
+		}
+	}()
+	New("bad", 3*64*2, 2) // 3 sets
+}
+
+func TestFillLookup(t *testing.T) {
+	c := New("c", 1024, 2)
+	var data [memory.LineSize]byte
+	data[0] = 0xAB
+	v := c.Victim(line(1))
+	c.Fill(v, line(1), Exclusive, &data)
+	l := c.Lookup(line(1))
+	if l == nil || l.State != Exclusive || l.Data[0] != 0xAB {
+		t.Fatalf("lookup after fill: %+v", l)
+	}
+	if c.Lookup(line(99)) != nil {
+		t.Fatal("lookup of absent line should be nil")
+	}
+	if c.Accesses != 2 || c.Misses != 1 {
+		t.Fatalf("accesses=%d misses=%d", c.Accesses, c.Misses)
+	}
+}
+
+func TestLRUVictim(t *testing.T) {
+	c := New("c", 2*64*2, 2) // 2 sets, 2 ways
+	// Two lines mapping to set 0 (even line numbers with 2 sets).
+	a, b, d := line(0), line(2), line(4)
+	c.Fill(c.Victim(a), a, Shared, nil)
+	c.Fill(c.Victim(b), b, Shared, nil)
+	c.Lookup(a) // refresh a; b becomes LRU
+	v := c.Victim(d)
+	if v.Addr != b {
+		t.Fatalf("victim = %#x, want %#x (LRU)", v.Addr, b)
+	}
+	// An invalid way is preferred over evicting.
+	c.Invalidate(a)
+	v = c.Victim(d)
+	if v.State != Invalid {
+		t.Fatalf("victim should be the invalid way, got %+v", v)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New("c", 1024, 2)
+	c.Fill(c.Victim(line(1)), line(1), Modified, nil)
+	old, ok := c.Invalidate(line(1))
+	if !ok || old.State != Modified {
+		t.Fatalf("invalidate = %+v, %v", old, ok)
+	}
+	if c.Probe(line(1)) != nil {
+		t.Fatal("line still present after invalidate")
+	}
+	if _, ok := c.Invalidate(line(1)); ok {
+		t.Fatal("second invalidate should report absent")
+	}
+}
+
+func TestForEachAndCounts(t *testing.T) {
+	c := New("c", 4096, 4)
+	for i := uint64(0); i < 5; i++ {
+		l := c.Victim(line(i))
+		c.Fill(l, line(i), Modified, nil)
+		l.Dirty = i%2 == 0
+	}
+	valid, dirty := c.CountValid()
+	if valid != 5 || dirty != 3 {
+		t.Fatalf("valid=%d dirty=%d", valid, dirty)
+	}
+	n := 0
+	c.ForEach(func(*Line) { n++ })
+	if n != 5 {
+		t.Fatalf("ForEach visited %d", n)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Invalid.String() != "I" || Modified.String() != "M" ||
+		Shared.String() != "S" || Exclusive.String() != "E" {
+		t.Fatal("State strings wrong")
+	}
+}
+
+// Property: after filling any sequence of lines into a cache, every line the
+// cache claims to hold is found at its own set, and the cache never exceeds
+// its capacity per set.
+func TestPropertySetDiscipline(t *testing.T) {
+	f := func(lineNums []uint16) bool {
+		c := New("p", 64*64*4, 4) // 64 sets, 4 ways
+		for _, n := range lineNums {
+			a := line(uint64(n))
+			if c.Probe(a) == nil {
+				c.Fill(c.Victim(a), a, Shared, nil)
+			}
+		}
+		counts := map[int]int{}
+		ok := true
+		c.ForEach(func(l *Line) {
+			counts[c.setIndex(l.Addr)]++
+			if c.Probe(l.Addr) != l {
+				ok = false
+			}
+		})
+		for _, n := range counts {
+			if n > c.Ways() {
+				return false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

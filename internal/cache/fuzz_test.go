@@ -1,0 +1,60 @@
+package cache
+
+import (
+	"testing"
+
+	"bbb/internal/memory"
+)
+
+// FuzzCacheOps drives a small cache with an arbitrary operation tape and
+// checks structural discipline after every step: set residency, capacity,
+// and lookup/probe agreement. Run with `go test -fuzz FuzzCacheOps` for
+// exploration; the seed corpus runs as a normal test.
+func FuzzCacheOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 250, 251, 9, 9, 9, 100, 101, 102})
+	f.Add([]byte{255, 254, 253, 252, 0, 0, 0, 0})
+	f.Add([]byte{7})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		c := New("fuzz", 8*64*2, 2) // 8 sets x 2 ways
+		live := map[memory.Addr]bool{}
+		for i := 0; i+1 < len(tape); i += 2 {
+			a := memory.Addr(tape[i]) * memory.LineSize
+			switch tape[i+1] % 3 {
+			case 0: // fill (possibly evicting)
+				if c.Probe(a) == nil {
+					v := c.Victim(a)
+					if v.State != Invalid {
+						delete(live, v.Addr)
+					}
+					c.Fill(v, a, Shared, nil)
+					live[a] = true
+				}
+			case 1: // lookup
+				got := c.Lookup(a) != nil
+				if got != live[a] {
+					t.Fatalf("lookup(%#x) = %v, live = %v", a, got, live[a])
+				}
+			case 2: // invalidate
+				_, had := c.Invalidate(a)
+				if had != live[a] {
+					t.Fatalf("invalidate(%#x) = %v, live = %v", a, had, live[a])
+				}
+				delete(live, a)
+			}
+			// Global discipline: everything live is probeable, capacity
+			// per set is never exceeded.
+			perSet := map[int]int{}
+			c.ForEach(func(l *Line) {
+				perSet[c.setIndex(l.Addr)]++
+				if !live[l.Addr] {
+					t.Fatalf("cache holds dead line %#x", l.Addr)
+				}
+			})
+			for _, n := range perSet {
+				if n > c.Ways() {
+					t.Fatalf("set over capacity: %d", n)
+				}
+			}
+		}
+	})
+}

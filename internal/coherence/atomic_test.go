@@ -1,0 +1,162 @@
+package coherence
+
+import (
+	"testing"
+
+	"bbb/internal/cache"
+	"bbb/internal/memory"
+)
+
+func (r *rig) cas(t *testing.T, core int, addr memory.Addr, old, new uint64) (uint64, bool) {
+	t.Helper()
+	var prev uint64
+	done := 0
+	r.h.AtomicCAS(core, addr, 8, old, new, func(p uint64) { prev = p; done++ })
+	r.eng.Run()
+	if done != 1 {
+		t.Fatalf("CAS done fired %d times", done)
+	}
+	return prev, prev == old
+}
+
+func TestCASSuccessAndFailure(t *testing.T) {
+	r := newRig(t, smallCfg(), nil)
+	a := r.nv(40)
+	r.store(t, 0, a, 8, 10)
+	if prev, ok := r.cas(t, 1, a, 10, 20); !ok || prev != 10 {
+		t.Fatalf("cas = (%d,%v)", prev, ok)
+	}
+	if prev, ok := r.cas(t, 2, a, 10, 30); ok || prev != 20 {
+		t.Fatalf("stale cas = (%d,%v)", prev, ok)
+	}
+	if v := r.load(t, 3, a, 8); v != 20 {
+		t.Fatalf("final = %d, want 20", v)
+	}
+	r.check(t)
+}
+
+func TestCASGrantsMState(t *testing.T) {
+	r := newRig(t, smallCfg(), nil)
+	a := r.nv(41)
+	r.load(t, 0, a, 8)
+	r.load(t, 1, a, 8) // both S
+	r.cas(t, 0, a, 0, 1)
+	l0 := r.h.l1s[0].Probe(a)
+	if l0 == nil || l0.State != cache.Modified {
+		t.Fatalf("CAS owner state = %v, want M", l0)
+	}
+	if r.h.l1s[1].Probe(a) != nil {
+		t.Fatal("other sharer not invalidated by CAS")
+	}
+	r.check(t)
+}
+
+func TestCASFiresPersistHooks(t *testing.T) {
+	p := &recordingPolicy{}
+	r := newRig(t, smallCfg(), p)
+	a := r.nv(42)
+	r.cas(t, 0, a, 0, 7) // success: persisting store
+	if len(p.commits) != 1 {
+		t.Fatalf("commits = %v, want the successful CAS", p.commits)
+	}
+	r.cas(t, 0, a, 0, 9) // failure: no store, no commit
+	if len(p.commits) != 1 {
+		t.Fatal("failed CAS fired CommitStore")
+	}
+	// DRAM CAS never commits to the persist domain.
+	r.cas(t, 0, r.dr(42), 0, 1)
+	if len(p.commits) != 1 {
+		t.Fatal("DRAM CAS fired CommitStore")
+	}
+}
+
+func TestCASStallsOnFullPersistBuffer(t *testing.T) {
+	p := &stallPolicy{}
+	r := newRig(t, smallCfg(), p)
+	done := false
+	r.h.AtomicCAS(0, r.nv(43), 8, 0, 1, func(uint64) { done = true })
+	r.eng.Run()
+	if done {
+		t.Fatal("CAS completed despite persist-buffer rejection")
+	}
+	p.waiter()
+	r.eng.Run()
+	if !done {
+		t.Fatal("CAS never completed after space freed")
+	}
+}
+
+func TestClwbWithRemoteOwner(t *testing.T) {
+	r := newRig(t, smallCfg(), nil)
+	a := r.nv(44)
+	r.store(t, 1, a, 8, 55) // core 1 owns M
+	done := false
+	r.h.Clwb(0, a, func() { done = true }) // clwb from another core
+	r.eng.Run()
+	if !done {
+		t.Fatal("clwb never completed")
+	}
+	// The owner's dirty data was pushed to the controller, line retained.
+	l1 := r.h.l1s[1].Probe(a)
+	if l1 == nil || l1.Dirty {
+		t.Fatalf("owner line after clwb = %+v, want present and clean", l1)
+	}
+	r.nvmm.CrashDrain()
+	var buf [memory.LineSize]byte
+	r.mem.PeekLine(a, &buf)
+	if buf[0] != 55 {
+		t.Fatal("remote owner's data not persisted by clwb")
+	}
+	r.check(t)
+}
+
+func TestClwbAbsentLine(t *testing.T) {
+	r := newRig(t, smallCfg(), nil)
+	done := false
+	r.h.Clwb(0, r.nv(45), func() { done = true })
+	r.eng.Run()
+	if !done {
+		t.Fatal("clwb on absent line must still complete")
+	}
+	if r.nvmm.Stats.Get("nvmm.writes") != 0 {
+		t.Fatal("clwb on absent line wrote memory")
+	}
+}
+
+func TestEvictionUnderLoadKeepsValues(t *testing.T) {
+	// Hammer two L2 sets from all cores with loads+stores interleaved so
+	// fills, evictions and re-fetches race; values must stay coherent.
+	r := newRig(t, smallCfg(), nil)
+	ref := map[memory.Addr]uint64{}
+	for i := 0; i < 400; i++ {
+		core := i % 4
+		a := r.nv(uint64((i * 8) % 96)) // same L2 sets repeatedly
+		if i%3 == 0 {
+			want := ref[a]
+			if got := r.load(t, core, a, 8); got != want {
+				t.Fatalf("i=%d a=%#x got %d want %d", i, a, got, want)
+			}
+		} else {
+			r.store(t, core, a, 8, uint64(i))
+			ref[a] = uint64(i)
+		}
+	}
+	r.check(t)
+}
+
+func TestMixedDRAMNVMMIndependence(t *testing.T) {
+	r := newRig(t, smallCfg(), nil)
+	// Same line index in both regions: distinct lines, distinct MCs.
+	dn, nv := r.dr(50), r.nv(50)
+	r.store(t, 0, dn, 8, 1)
+	r.store(t, 0, nv, 8, 2)
+	if v := r.load(t, 1, dn, 8); v != 1 {
+		t.Fatalf("dram = %d", v)
+	}
+	if v := r.load(t, 1, nv, 8); v != 2 {
+		t.Fatalf("nvmm = %d", v)
+	}
+	if r.h.Stats.Get("store.persisting") != 1 {
+		t.Fatal("exactly one store should be persisting")
+	}
+}

@@ -1,0 +1,171 @@
+package coherence
+
+import (
+	"fmt"
+
+	"bbb/internal/cache"
+	"bbb/internal/engine"
+	"bbb/internal/memctrl"
+	"bbb/internal/memory"
+	"bbb/internal/stats"
+)
+
+// Config sizes the hierarchy; defaults follow Table III.
+type Config struct {
+	Cores  int
+	L1Size int
+	L1Ways int
+	L1Lat  engine.Cycle
+	L2Size int
+	L2Ways int
+	L2Lat  engine.Cycle
+	// RemoteLat is the extra cost of an L1-to-L1 intervention or
+	// invalidation hop through the L2 directory.
+	RemoteLat engine.Cycle
+}
+
+// DefaultConfig is the paper's simulated machine: 8 cores, 128 KiB 8-way
+// L1D (2 cycles), 1 MiB 8-way shared L2 (11 cycles).
+func DefaultConfig() Config {
+	return Config{
+		Cores:     8,
+		L1Size:    128 * 1024,
+		L1Ways:    8,
+		L1Lat:     2,
+		L2Size:    1024 * 1024,
+		L2Ways:    8,
+		L2Lat:     11,
+		RemoteLat: 13,
+	}
+}
+
+// dirEntry is the directory state for a line resident in the inclusive L2:
+// which L1s share it, and which single L1 (if any) may hold it E/M.
+type dirEntry struct {
+	sharers uint64 // bitmask over cores
+	owner   int    // core holding E/M, or -1
+}
+
+func (d *dirEntry) addSharer(c int)     { d.sharers |= 1 << uint(c) }
+func (d *dirEntry) dropSharer(c int)    { d.sharers &^= 1 << uint(c) }
+func (d *dirEntry) isSharer(c int) bool { return d.sharers&(1<<uint(c)) != 0 }
+func (d *dirEntry) none() bool          { return d.sharers == 0 }
+
+// lineLock serializes transactions per cache line. Transactions hold the
+// lock from issue to completion, so state bound at the atomic mutation
+// points cannot be disturbed by a racing transaction on the same line.
+type lineLock struct {
+	held    bool
+	waiters []func()
+}
+
+// Hierarchy is the coherent two-level cache system in front of the memory
+// controllers.
+type Hierarchy struct {
+	cfg    Config
+	eng    *engine.Engine
+	layout memory.Layout
+	l1s    []*cache.Cache
+	l2     *cache.Cache
+	dir    map[memory.Addr]*dirEntry
+	locks  map[memory.Addr]*lineLock
+	dram   *memctrl.Controller
+	nvmm   *memctrl.Controller
+	policy PersistPolicy
+
+	// Stats holds hierarchy counters (hits, misses, invalidations, ...).
+	Stats *stats.Counters
+}
+
+// New wires a hierarchy. policy must not be nil; use NullPolicy for schemes
+// without persist buffers.
+func New(cfg Config, eng *engine.Engine, layout memory.Layout, dram, nvmm *memctrl.Controller, policy PersistPolicy) *Hierarchy {
+	if policy == nil {
+		panic("coherence: nil PersistPolicy")
+	}
+	h := &Hierarchy{
+		cfg:    cfg,
+		eng:    eng,
+		layout: layout,
+		l2:     cache.New("L2", cfg.L2Size, cfg.L2Ways),
+		dir:    make(map[memory.Addr]*dirEntry),
+		locks:  make(map[memory.Addr]*lineLock),
+		dram:   dram,
+		nvmm:   nvmm,
+		policy: policy,
+		Stats:  stats.NewCounters(),
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		h.l1s = append(h.l1s, cache.New(fmt.Sprintf("L1D%d", i), cfg.L1Size, cfg.L1Ways))
+	}
+	return h
+}
+
+// Cores returns the core count.
+func (h *Hierarchy) Cores() int { return h.cfg.Cores }
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Layout returns the physical memory layout.
+func (h *Hierarchy) Layout() memory.Layout { return h.layout }
+
+// controllerFor returns the memory controller owning addr.
+func (h *Hierarchy) controllerFor(addr memory.Addr) *memctrl.Controller {
+	if h.layout.RegionOf(addr) == memory.RegionNVMM {
+		return h.nvmm
+	}
+	return h.dram
+}
+
+// acquire runs fn with addr's line lock held; fn receives a release
+// callback it must invoke exactly once (possibly asynchronously).
+func (h *Hierarchy) acquire(addr memory.Addr, fn func(release func())) {
+	lk := h.locks[addr]
+	if lk == nil {
+		lk = &lineLock{}
+		h.locks[addr] = lk
+	}
+	run := func() {
+		released := false
+		fn(func() {
+			if released {
+				panic("coherence: double release of line lock")
+			}
+			released = true
+			h.release(addr)
+		})
+	}
+	if lk.held {
+		lk.waiters = append(lk.waiters, run)
+		return
+	}
+	lk.held = true
+	run()
+}
+
+func (h *Hierarchy) release(addr memory.Addr) {
+	lk := h.locks[addr]
+	if lk == nil || !lk.held {
+		panic("coherence: release of unheld line lock")
+	}
+	if len(lk.waiters) == 0 {
+		delete(h.locks, addr)
+		return
+	}
+	next := lk.waiters[0]
+	lk.waiters = lk.waiters[1:]
+	// Run the next transaction in a fresh event so releases never recurse.
+	h.eng.Schedule(0, next)
+}
+
+// dirOf returns the directory entry for a line resident in L2, creating it
+// on first use. Lines absent from L2 must not have directory entries.
+func (h *Hierarchy) dirOf(addr memory.Addr) *dirEntry {
+	d := h.dir[addr]
+	if d == nil {
+		d = &dirEntry{owner: -1}
+		h.dir[addr] = d
+	}
+	return d
+}

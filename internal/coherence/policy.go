@@ -1,0 +1,72 @@
+// Package coherence implements the simulated cache hierarchy: per-core
+// private L1D caches and a shared, inclusive L2 (the LLC of the paper's
+// Table III machine) kept coherent with a directory-based MESI protocol.
+//
+// Persistency schemes plug into the hierarchy through the PersistPolicy
+// hooks, which carry exactly the interactions the paper describes in
+// §III-B/§III-E: persisting stores entering the bbPB alongside the L1D
+// write, entry migration on remote invalidations, forced drains to keep the
+// LLC dirty-inclusive of the bbPBs, and the skipped LLC writeback of dirty
+// persistent victims.
+package coherence
+
+import "bbb/internal/memory"
+
+// PersistPolicy is the persistency scheme's view of hierarchy events. All
+// methods run inside the event loop; implementations must not block.
+type PersistPolicy interface {
+	// CanAcceptStore reports whether a persisting store by core to addr may
+	// proceed. A false return stalls the store; the hierarchy retries after
+	// OnSpace fires.
+	CanAcceptStore(core int, addr memory.Addr) bool
+	// OnSpace registers fn to be called once core's persist buffer frees
+	// capacity (only invoked after CanAcceptStore returned false).
+	OnSpace(core int, fn func())
+	// CommitStore notifies that core committed a persisting store to addr;
+	// data is the full updated line. Called exactly when the L1D is
+	// written, closing the PoV/PoP gap.
+	CommitStore(core int, addr memory.Addr, data *[memory.LineSize]byte)
+	// OnRemoteInvalidate notifies that victim core's copy of addr was
+	// invalidated because another core is writing it; a bbPB entry migrates
+	// to the writer (whose CommitStore follows in the same transaction).
+	OnRemoteInvalidate(victim int, addr memory.Addr)
+	// OnLLCEvict decides the fate of an LLC victim after L1 copies are
+	// merged. done must be called exactly once with whether the line should
+	// be written back to memory; policies may first force-drain a bbPB
+	// entry (the call may thus complete asynchronously).
+	OnLLCEvict(addr memory.Addr, persistent, dirty bool, done func(writeBack bool))
+}
+
+// EpochPolicy is an optional extension for epoch-based schemes (buffered
+// epoch persistency): the hierarchy forwards epoch barriers to it.
+type EpochPolicy interface {
+	// OnEpochBarrier marks an epoch boundary on core: later persisting
+	// stores must not persist before earlier ones.
+	OnEpochBarrier(core int)
+}
+
+// EpochBarrier forwards an epoch boundary to the policy, if it cares.
+func (h *Hierarchy) EpochBarrier(core int) {
+	if ep, ok := h.policy.(EpochPolicy); ok {
+		ep.OnEpochBarrier(core)
+	}
+}
+
+// NullPolicy is the policy for schemes with no persist buffers (eADR and
+// the PMEM baseline): stores never stall and dirty victims write back.
+type NullPolicy struct{}
+
+// CanAcceptStore implements PersistPolicy.
+func (NullPolicy) CanAcceptStore(int, memory.Addr) bool { return true }
+
+// OnSpace implements PersistPolicy; unreachable for NullPolicy.
+func (NullPolicy) OnSpace(int, func()) { panic("coherence: NullPolicy.OnSpace called") }
+
+// CommitStore implements PersistPolicy.
+func (NullPolicy) CommitStore(int, memory.Addr, *[memory.LineSize]byte) {}
+
+// OnRemoteInvalidate implements PersistPolicy.
+func (NullPolicy) OnRemoteInvalidate(int, memory.Addr) {}
+
+// OnLLCEvict implements PersistPolicy.
+func (NullPolicy) OnLLCEvict(_ memory.Addr, _, dirty bool, done func(bool)) { done(dirty) }

@@ -1,0 +1,143 @@
+package coherence
+
+import (
+	"fmt"
+
+	"bbb/internal/cache"
+	"bbb/internal/memory"
+)
+
+// MergedLine returns the architecturally freshest data for la held anywhere
+// in the hierarchy, and whether la is cached at all. The owner L1's copy
+// wins over the L2's.
+func (h *Hierarchy) MergedLine(la memory.Addr) ([memory.LineSize]byte, bool) {
+	l2line := h.l2.Probe(la)
+	if l2line == nil {
+		return [memory.LineSize]byte{}, false
+	}
+	if d := h.dir[la]; d != nil && d.owner >= 0 {
+		if l := h.l1s[d.owner].Probe(la); l != nil && l.State == cache.Modified {
+			return l.Data, true
+		}
+	}
+	return l2line.Data, true
+}
+
+// ForEachDirtyLine calls fn for every line whose cached (merged) data is
+// dirty with respect to memory, passing the freshest data. Used by the eADR
+// crash drain (flush-on-fail over the whole hierarchy) and by recovery
+// tests.
+func (h *Hierarchy) ForEachDirtyLine(fn func(la memory.Addr, persistent bool, data *[memory.LineSize]byte)) {
+	h.l2.ForEach(func(l2line *cache.Line) {
+		la := l2line.Addr
+		data := l2line.Data
+		dirty := l2line.Dirty
+		persistent := l2line.Persistent
+		if d := h.dir[la]; d != nil && d.owner >= 0 {
+			if l := h.l1s[d.owner].Probe(la); l != nil && l.State == cache.Modified && l.Dirty {
+				data = l.Data
+				dirty = true
+				persistent = persistent || l.Persistent
+			}
+		}
+		if dirty {
+			fn(la, persistent, &data)
+		}
+	})
+}
+
+// DirtyStats reports the valid/dirty line counts of the whole hierarchy
+// (paper §V-A assumes 44.9% of blocks dirty for eADR's drain estimate; this
+// lets experiments report the measured value).
+func (h *Hierarchy) DirtyStats() (valid, dirty int) {
+	v, d := h.l2.CountValid()
+	valid, dirty = v, d
+	for _, l1 := range h.l1s {
+		v, d := l1.CountValid()
+		valid += v
+		dirty += d
+	}
+	return valid, dirty
+}
+
+// CheckInvariants validates the coherence invariants the protocol relies
+// on; tests call it between and after runs. It returns an error describing
+// the first violation found.
+func (h *Hierarchy) CheckInvariants() error {
+	// L1 inclusion in L2, and directory consistency.
+	for c, l1 := range h.l1s {
+		var err error
+		l1.ForEach(func(l *cache.Line) {
+			if err != nil {
+				return
+			}
+			if h.l2.Probe(l.Addr) == nil {
+				err = fmt.Errorf("L1[%d] line %#x not in inclusive L2", c, l.Addr)
+				return
+			}
+			d := h.dir[l.Addr]
+			if d == nil || !d.isSharer(c) {
+				err = fmt.Errorf("L1[%d] line %#x missing from directory sharers", c, l.Addr)
+				return
+			}
+			switch l.State {
+			case cache.Modified, cache.Exclusive:
+				if d.owner != c {
+					err = fmt.Errorf("L1[%d] line %#x is %v but directory owner is %d", c, l.Addr, l.State, d.owner)
+				}
+			case cache.Shared:
+				if d.owner == c {
+					err = fmt.Errorf("L1[%d] line %#x is S but directory names it owner", c, l.Addr)
+				}
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	// Directory entries point at real L1 lines; single-writer holds.
+	for la, d := range h.dir {
+		if h.l2.Probe(la) == nil {
+			return fmt.Errorf("directory entry %#x without L2 line", la)
+		}
+		if d.owner >= 0 {
+			l := h.l1s[d.owner].Probe(la)
+			if l == nil {
+				return fmt.Errorf("directory owner %d lacks line %#x", d.owner, la)
+			}
+			if l.State != cache.Modified && l.State != cache.Exclusive {
+				return fmt.Errorf("directory owner %d holds %#x in %v", d.owner, la, l.State)
+			}
+		}
+		writers := 0
+		for c := 0; c < h.cfg.Cores; c++ {
+			l := h.l1s[c].Probe(la)
+			if d.isSharer(c) && l == nil {
+				return fmt.Errorf("directory sharer %d lacks line %#x", c, la)
+			}
+			if !d.isSharer(c) && l != nil {
+				return fmt.Errorf("core %d holds line %#x unknown to directory", c, la)
+			}
+			if l != nil && l.State == cache.Modified {
+				writers++
+			}
+		}
+		if writers > 1 {
+			return fmt.Errorf("line %#x has %d writers", la, writers)
+		}
+	}
+	return nil
+}
+
+// L1HitRate reports aggregate L1 load/store hit rate for diagnostics.
+func (h *Hierarchy) L1HitRate() float64 {
+	var acc, miss uint64
+	for _, l1 := range h.l1s {
+		acc += l1.Accesses
+		miss += l1.Misses
+	}
+	if acc == 0 {
+		return 0
+	}
+	return 1 - float64(miss)/float64(acc)
+}

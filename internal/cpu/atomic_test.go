@@ -1,0 +1,131 @@
+package cpu
+
+import (
+	"testing"
+
+	"bbb/internal/memory"
+)
+
+func TestCASBasics(t *testing.T) {
+	r := newRig(t, 1, DefaultConfig())
+	a := r.nv(0)
+	var prev1, prev2 uint64
+	var ok1, ok2 bool
+	r.cores[0].Start(func(e Env) {
+		Store64(e, a, 5)
+		prev1, ok1 = e.CompareAndSwap(a, 8, 5, 9) // matches
+		prev2, ok2 = e.CompareAndSwap(a, 8, 5, 7) // stale expectation
+	})
+	r.eng.Run()
+	if !ok1 || prev1 != 5 {
+		t.Fatalf("first CAS = (%d,%v), want (5,true)", prev1, ok1)
+	}
+	if ok2 || prev2 != 9 {
+		t.Fatalf("second CAS = (%d,%v), want (9,false)", prev2, ok2)
+	}
+	var final uint64
+	done := false
+	r.h.Load(0, a, 8, func(v uint64) { final = v; done = true })
+	r.eng.Run()
+	if !done || final != 9 {
+		t.Fatalf("final = %d, want 9", final)
+	}
+}
+
+func TestCASOrdersAfterBufferedStores(t *testing.T) {
+	r := newRig(t, 1, DefaultConfig())
+	a := r.nv(1)
+	var ok bool
+	r.cores[0].Start(func(e Env) {
+		Store64(e, a, 3) // sits in the SB
+		// The CAS must observe the buffered store (it drains the SB first).
+		_, ok = e.CompareAndSwap(a, 8, 3, 4)
+	})
+	r.eng.Run()
+	if !ok {
+		t.Fatal("CAS did not observe the program's own buffered store")
+	}
+	if r.cores[0].Stats.Get("core.atomics") != 1 {
+		t.Fatal("atomic not counted")
+	}
+}
+
+// Four cores increment one shared counter with CAS loops; no increment may
+// be lost — the atomicity test.
+func TestCASSharedCounterExact(t *testing.T) {
+	const cores, perCore = 4, 200
+	r := newRig(t, cores, DefaultConfig())
+	ctr := r.nv(2)
+	for i := 0; i < cores; i++ {
+		r.cores[i].Start(func(e Env) {
+			for n := 0; n < perCore; n++ {
+				for {
+					cur := Load64(e, ctr)
+					if _, ok := e.CompareAndSwap(ctr, 8, cur, cur+1); ok {
+						break
+					}
+				}
+			}
+		})
+	}
+	r.eng.Run()
+	var final uint64
+	r.h.Load(0, ctr, 8, func(v uint64) { final = v })
+	r.eng.Run()
+	if final != cores*perCore {
+		t.Fatalf("counter = %d, want %d (lost updates)", final, cores*perCore)
+	}
+	if err := r.h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A Treiber-stack push loop across cores: every node CAS-published must be
+// reachable exactly once (no lost or duplicated publishes).
+func TestCASTreiberStack(t *testing.T) {
+	const cores, perCore = 4, 100
+	r := newRig(t, cores, DefaultConfig())
+	head := r.nv(3)
+	// Node n for (core c, i) at a fixed slot; [val, next] layout.
+	nodeAddr := func(c, i int) memory.Addr { return r.nv(uint64(16 + c*perCore + i)) }
+	for c := 0; c < cores; c++ {
+		c := c
+		r.cores[c].Start(func(e Env) {
+			for i := 0; i < perCore; i++ {
+				n := nodeAddr(c, i)
+				Store64(e, n, uint64(c*1000+i)) // val
+				for {
+					cur := Load64(e, head)
+					Store64(e, n+8, cur) // next
+					if _, ok := e.CompareAndSwap(head, 8, cur, uint64(n)); ok {
+						break
+					}
+				}
+			}
+		})
+	}
+	r.eng.Run()
+	// Walk the stack architecturally.
+	seen := map[uint64]bool{}
+	var cur uint64
+	doneLoad := func(a memory.Addr) uint64 {
+		var v uint64
+		r.h.Load(0, a, 8, func(x uint64) { v = x })
+		r.eng.Run()
+		return v
+	}
+	cur = doneLoad(head)
+	count := 0
+	for cur != 0 {
+		val := doneLoad(memory.Addr(cur))
+		if seen[val] {
+			t.Fatalf("value %d pushed twice", val)
+		}
+		seen[val] = true
+		cur = doneLoad(memory.Addr(cur) + 8)
+		count++
+	}
+	if count != cores*perCore {
+		t.Fatalf("stack has %d nodes, want %d", count, cores*perCore)
+	}
+}

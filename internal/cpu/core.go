@@ -1,0 +1,430 @@
+// Package cpu models the cores driving the memory hierarchy: a 2 GHz core
+// with a FIFO store buffer in front of the L1D, and the program interface
+// that couples a workload goroutine to the discrete-event simulation.
+//
+// The store buffer drains to the L1D strictly in order, one store at a
+// time. That is what gives BBB program-order entry into the persistence
+// domain (§III-D invariant 1): each persisting store allocates its bbPB
+// entry, via the coherence layer, at the moment its L1D write commits, and
+// those commits happen in program order. Under the paper's relaxed-
+// consistency extension (§III-C) the store buffer itself is battery backed,
+// which CrashDrain models.
+package cpu
+
+import (
+	"fmt"
+
+	"bbb/internal/coherence"
+	"bbb/internal/engine"
+	"bbb/internal/memory"
+	"bbb/internal/stats"
+	"bbb/internal/trace"
+)
+
+// Config sizes one core.
+type Config struct {
+	// SBEntries is the store-buffer capacity (Table III: LSQ 32).
+	SBEntries int
+	// ExplicitPersist selects the PMEM programming model: Env.PersistBarrier
+	// issues clwb+fence. When false (BBB, eADR) PersistBarrier is free.
+	ExplicitPersist bool
+	// EpochMode selects buffered epoch persistency: Env.PersistBarrier
+	// marks an epoch boundary (one cheap instruction, no synchronous wait).
+	EpochMode bool
+	// BatteryBackedSB marks the store buffer as part of the persistence
+	// domain (both BBB and eADR battery-back it; the PMEM baseline does not).
+	BatteryBackedSB bool
+	// StorePrefetch issues a request-for-ownership for a store's line the
+	// moment the store enters the buffer, overlapping write-allocate
+	// misses with earlier drains — a dash of the memory-level parallelism
+	// an out-of-order core would extract. Off by default.
+	StorePrefetch bool
+	// RelaxedSBDrain models the §III-C relaxed consistency case: buffered
+	// stores may write the L1D out of program order (same-line order is
+	// always kept — single-address ordering is never relaxed). Program-
+	// order *persistency* then rests entirely on the battery-backed store
+	// buffer: stores enter the persistence domain at SB insertion, and the
+	// crash drain replays the SB in program order. With a volatile SB
+	// (PMEM) this mode widens the reordering the paper warns about.
+	RelaxedSBDrain bool
+}
+
+// DefaultConfig returns the Table III core front-end.
+func DefaultConfig() Config {
+	return Config{SBEntries: 32}
+}
+
+type reqKind int
+
+const (
+	reqLoad reqKind = iota
+	reqStore
+	reqPersist // clwb
+	reqFence   // sfence: wait for outstanding clwbs
+	reqEpoch   // epoch barrier (buffered epoch persistency)
+	reqCAS     // atomic compare-and-swap
+	reqCompute
+	reqDone
+)
+
+type request struct {
+	kind   reqKind
+	addr   memory.Addr
+	size   int
+	val    uint64
+	old    uint64 // CAS expected value
+	cycles engine.Cycle
+}
+
+type sbEntry struct {
+	addr memory.Addr
+	size int
+	val  uint64
+}
+
+// Core is one simulated core.
+type Core struct {
+	id  int
+	cfg Config
+	eng *engine.Engine
+	h   *coherence.Hierarchy
+
+	prog   chan request
+	resume chan uint64
+	quit   chan struct{}
+
+	sb         []sbEntry
+	sbDraining bool
+	sbWaiters  []func() // program stalled on a full SB or SB-empty condition
+
+	outstandingClwb int
+	fenceWaiter     func()
+
+	done     bool
+	finished engine.Cycle
+
+	// Stats carries per-core counters.
+	Stats *stats.Counters
+	// StallCycles accumulates cycles the program spent blocked on a full
+	// store buffer.
+	StallCycles engine.Cycle
+}
+
+// New builds a core. Call Start with the workload before running the engine.
+func New(id int, cfg Config, eng *engine.Engine, h *coherence.Hierarchy) *Core {
+	if cfg.SBEntries <= 0 {
+		panic("cpu: SBEntries must be positive")
+	}
+	return &Core{
+		id:     id,
+		cfg:    cfg,
+		eng:    eng,
+		h:      h,
+		prog:   make(chan request),
+		resume: make(chan uint64),
+		quit:   make(chan struct{}),
+		Stats:  stats.NewCounters(),
+	}
+}
+
+// ID returns the core number.
+func (c *Core) ID() int { return c.id }
+
+// Done reports whether the program has finished.
+func (c *Core) Done() bool { return c.done }
+
+// FinishedAt returns the cycle the program finished (valid once Done).
+func (c *Core) FinishedAt() engine.Cycle { return c.finished }
+
+// Start launches the workload goroutine and schedules the core's first
+// instruction fetch. run is executed on its own goroutine against the
+// core's Env and must use only that Env to touch simulated memory.
+func (c *Core) Start(run func(Env)) {
+	e := &env{core: c}
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if r == errAbandoned {
+					return // simulation torn down mid-run (crash injection)
+				}
+				panic(r)
+			}
+		}()
+		run(e)
+		e.do(request{kind: reqDone})
+	}()
+	c.eng.Schedule(0, c.fetch)
+}
+
+// Stop abandons the workload goroutine; used at crash points and teardown.
+func (c *Core) Stop() {
+	select {
+	case <-c.quit:
+	default:
+		close(c.quit)
+	}
+}
+
+// fetch blocks the event loop until the program's next request arrives.
+// The program goroutine is always either about to send a request or
+// finished, so this cannot deadlock.
+func (c *Core) fetch() {
+	req := <-c.prog
+	c.handle(req)
+}
+
+func (c *Core) handle(req request) {
+	switch req.kind {
+	case reqDone:
+		c.done = true
+		c.finished = c.eng.Now()
+		// No resume: the program goroutine has exited.
+
+	case reqCompute:
+		c.Stats.Add("core.compute_cycles", uint64(req.cycles))
+		c.eng.Schedule(req.cycles, func() { c.reply(0) })
+
+	case reqLoad:
+		c.Stats.Inc("core.loads")
+		c.issueLoad(req)
+
+	case reqStore:
+		c.Stats.Inc("core.stores")
+		c.acceptStore(req, c.eng.Now())
+
+	case reqPersist:
+		c.Stats.Inc("core.clwbs")
+		c.eng.EmitTrace(trace.KindClwb, c.id, uint64(memory.LineAddr(req.addr)), 0)
+		c.issuePersist(req)
+
+	case reqFence:
+		c.Stats.Inc("core.fences")
+		c.eng.EmitTrace(trace.KindFence, c.id, 0, 0)
+		c.issueFence()
+
+	case reqCAS:
+		c.Stats.Inc("core.atomics")
+		// Atomics act as a local fence: the store buffer drains first so
+		// the RMW observes and extends program order.
+		c.waitSBBelow(0, func() {
+			c.h.AtomicCAS(c.id, req.addr, req.size, req.old, req.val, func(prev uint64) {
+				c.reply(prev)
+			})
+		})
+
+	case reqEpoch:
+		c.Stats.Inc("core.epoch_barriers")
+		// The boundary must order stores still in the SB into the earlier
+		// epoch, so it takes effect once the SB has drained past them.
+		c.waitSBBelow(0, func() {
+			c.eng.EmitTrace(trace.KindEpochMark, c.id, 0, 0)
+			c.h.EpochBarrier(c.id)
+			c.reply(0)
+		})
+
+	default:
+		panic(fmt.Sprintf("cpu: unknown request kind %d", req.kind))
+	}
+}
+
+// reply resumes the program with val and schedules the next fetch.
+func (c *Core) reply(val uint64) {
+	c.resume <- val
+	c.fetch()
+}
+
+// --- store buffer ---
+
+// acceptStore places the store into the SB, stalling the program while the
+// SB is full. start is when the program first attempted the store, for
+// stall accounting.
+func (c *Core) acceptStore(req request, start engine.Cycle) {
+	if len(c.sb) >= c.cfg.SBEntries {
+		c.Stats.Inc("core.sb_full_stalls")
+		c.sbWaiters = append(c.sbWaiters, func() { c.acceptStore(req, start) })
+		return
+	}
+	c.StallCycles += c.eng.Now() - start
+	c.sb = append(c.sb, sbEntry{addr: req.addr, size: req.size, val: req.val})
+	// With drains queued ahead of this store, warming its line overlaps
+	// the write-allocate miss with the queue.
+	if c.cfg.StorePrefetch && len(c.sb) > 1 {
+		c.h.PrefetchExclusive(c.id, req.addr, nil)
+	}
+	c.pumpSB()
+	// A store retires into the SB immediately; charge one issue cycle.
+	c.eng.Schedule(1, func() { c.reply(0) })
+}
+
+// pumpSB drains one buffered store to the L1D at a time: the head in
+// program order (TSO-style), or — under RelaxedSBDrain — the oldest entry
+// whose line is already writable in the L1, provided no older entry
+// targets the same line (single-address order is never relaxed).
+func (c *Core) pumpSB() {
+	if c.sbDraining || len(c.sb) == 0 {
+		return
+	}
+	idx := 0
+	if c.cfg.RelaxedSBDrain {
+		idx = c.pickRelaxedDrain()
+	}
+	c.sbDraining = true
+	e := c.sb[idx]
+	if idx != 0 {
+		c.Stats.Inc("core.sb_reordered_drains")
+	}
+	c.h.Store(c.id, e.addr, e.size, e.val, func() {
+		for i := range c.sb {
+			if c.sb[i] == e {
+				c.sb = append(c.sb[:i], c.sb[i+1:]...)
+				break
+			}
+		}
+		c.sbDraining = false
+		c.wakeSBWaiters()
+		c.pumpSB()
+	})
+}
+
+// pickRelaxedDrain returns the index of the first entry with a locally
+// writable line and no older same-line entry, or 0 (the head).
+func (c *Core) pickRelaxedDrain() int {
+	for i := range c.sb {
+		la := memory.LineAddr(c.sb[i].addr)
+		older := false
+		for j := 0; j < i; j++ {
+			if memory.LineAddr(c.sb[j].addr) == la {
+				older = true
+				break
+			}
+		}
+		if older {
+			continue
+		}
+		if c.h.LineWritable(c.id, la) {
+			return i
+		}
+	}
+	return 0
+}
+
+func (c *Core) wakeSBWaiters() {
+	// Snapshot: a still-blocked waiter re-appends itself, so iterating the
+	// live slice would spin.
+	waiters := c.sbWaiters
+	c.sbWaiters = nil
+	for _, fn := range waiters {
+		fn()
+	}
+}
+
+// --- loads ---
+
+// issueLoad forwards from the SB when possible; an exact-match entry
+// supplies the value directly, a partial overlap waits for the SB to drain
+// past it (conservative but correct).
+func (c *Core) issueLoad(req request) {
+	for i := len(c.sb) - 1; i >= 0; i-- {
+		e := c.sb[i]
+		if e.addr == req.addr && e.size == req.size {
+			c.Stats.Inc("core.sb_forwards")
+			c.eng.Schedule(1, func() { c.reply(e.val) })
+			return
+		}
+		if overlaps(e, req) {
+			c.Stats.Inc("core.sb_overlap_stalls")
+			c.waitSBBelow(i, func() { c.issueLoad(req) })
+			return
+		}
+	}
+	c.h.Load(c.id, req.addr, req.size, func(val uint64) { c.reply(val) })
+}
+
+// waitSBBelow runs fn once the SB has drained to at most n entries.
+func (c *Core) waitSBBelow(n int, fn func()) {
+	if len(c.sb) <= n {
+		c.eng.Schedule(0, fn)
+		return
+	}
+	c.sbWaiters = append(c.sbWaiters, func() { c.waitSBBelow(n, fn) })
+}
+
+func overlaps(e sbEntry, req request) bool {
+	aLo, aHi := e.addr, e.addr+memory.Addr(e.size)
+	bLo, bHi := req.addr, req.addr+memory.Addr(req.size)
+	return aLo < bHi && bLo < aHi
+}
+
+// --- persistence instructions (PMEM baseline) ---
+
+// issuePersist waits for SB entries to the target line to drain, then
+// issues a clwb; the program resumes immediately (clwb is asynchronous,
+// sfence provides the wait).
+func (c *Core) issuePersist(req request) {
+	la := memory.LineAddr(req.addr)
+	for i := len(c.sb) - 1; i >= 0; i-- {
+		if memory.LineAddr(c.sb[i].addr) == la {
+			c.waitSBBelow(i, func() { c.issuePersist(req) })
+			return
+		}
+	}
+	c.outstandingClwb++
+	c.h.Clwb(c.id, la, func() {
+		c.outstandingClwb--
+		if c.outstandingClwb == 0 && c.fenceWaiter != nil {
+			fn := c.fenceWaiter
+			c.fenceWaiter = nil
+			fn()
+		}
+	})
+	c.eng.Schedule(1, func() { c.reply(0) })
+}
+
+// issueFence blocks the program until every outstanding clwb has reached
+// the persistence domain.
+func (c *Core) issueFence() {
+	if c.outstandingClwb == 0 {
+		c.eng.Schedule(1, func() { c.reply(0) })
+		return
+	}
+	if c.fenceWaiter != nil {
+		panic("cpu: concurrent fences on one core")
+	}
+	c.fenceWaiter = func() { c.eng.Schedule(1, func() { c.reply(0) }) }
+}
+
+// --- crash support ---
+
+// SBOccupancy reports the number of buffered stores.
+func (c *Core) SBOccupancy() int { return len(c.sb) }
+
+// BatteryBackedSB reports whether this core's store buffer is inside the
+// persistence domain (§III-C).
+func (c *Core) BatteryBackedSB() bool { return c.cfg.BatteryBackedSB }
+
+// CrashDrainSB flushes buffered stores for persistent addresses straight to
+// the durable image via write (a read-modify-write at line granularity),
+// preserving program order. Only meaningful when the store buffer is
+// battery backed (§III-C); callers decide based on the scheme.
+func (c *Core) CrashDrainSB(read func(memory.Addr, *[memory.LineSize]byte), write func(memory.Addr, *[memory.LineSize]byte), persistent func(memory.Addr) bool) int {
+	n := 0
+	for _, e := range c.sb {
+		if !persistent(e.addr) {
+			continue
+		}
+		la := memory.LineAddr(e.addr)
+		var line [memory.LineSize]byte
+		read(la, &line)
+		writeValueAt(&line, memory.LineOffset(e.addr), e.size, e.val)
+		write(la, &line)
+		n++
+	}
+	c.sb = c.sb[:0]
+	return n
+}
+
+func writeValueAt(data *[memory.LineSize]byte, off, size int, val uint64) {
+	for i := 0; i < size; i++ {
+		data[off+i] = byte(val >> (8 * uint(i)))
+	}
+}

@@ -1,0 +1,106 @@
+package cpu
+
+import (
+	"errors"
+
+	"bbb/internal/engine"
+	"bbb/internal/memory"
+)
+
+// errAbandoned aborts a workload goroutine when the simulation is torn down
+// (crash injection or end of run); it never escapes the package.
+var errAbandoned = errors.New("cpu: simulation abandoned")
+
+// Env is the interface a workload uses to execute against the simulated
+// machine. All methods advance simulated time; the goroutine blocks until
+// the machine completes the operation.
+//
+// PersistBarrier is the only persistency-aware call: under the PMEM
+// baseline it costs a clwb per named line plus an sfence, while under BBB
+// and eADR it is free — which is exactly the programmability argument of
+// the paper's Figures 2 and 3.
+type Env interface {
+	// CoreID returns the executing core's number.
+	CoreID() int
+	// Load reads size bytes (1, 2, 4 or 8) at addr.
+	Load(addr memory.Addr, size int) uint64
+	// Store writes size bytes of val at addr.
+	Store(addr memory.Addr, size int, val uint64)
+	// PersistBarrier orders earlier persisting stores to the named lines
+	// before any later store, using whatever the active scheme requires.
+	PersistBarrier(addrs ...memory.Addr)
+	// Compute burns n core cycles of non-memory work.
+	Compute(n engine.Cycle)
+	// CompareAndSwap atomically replaces the size-byte value at addr with
+	// new if it currently equals old, returning the previous value and
+	// whether the swap happened. A successful swap on a persistent line is
+	// a persisting store — on BBB it is durable the moment it commits.
+	CompareAndSwap(addr memory.Addr, size int, old, new uint64) (prev uint64, swapped bool)
+}
+
+type env struct {
+	core *Core
+}
+
+var _ Env = (*env)(nil)
+
+func (e *env) do(r request) uint64 {
+	select {
+	case e.core.prog <- r:
+	case <-e.core.quit:
+		panic(errAbandoned)
+	}
+	if r.kind == reqDone {
+		return 0 // the core never resumes after Done
+	}
+	select {
+	case v := <-e.core.resume:
+		return v
+	case <-e.core.quit:
+		panic(errAbandoned)
+	}
+}
+
+func (e *env) CoreID() int { return e.core.id }
+
+func (e *env) Load(addr memory.Addr, size int) uint64 {
+	return e.do(request{kind: reqLoad, addr: addr, size: size})
+}
+
+func (e *env) Store(addr memory.Addr, size int, val uint64) {
+	e.do(request{kind: reqStore, addr: addr, size: size, val: val})
+}
+
+func (e *env) PersistBarrier(addrs ...memory.Addr) {
+	if e.core.cfg.EpochMode {
+		// One epoch-marker instruction, regardless of how many lines the
+		// operation touched.
+		e.do(request{kind: reqEpoch})
+		return
+	}
+	if !e.core.cfg.ExplicitPersist {
+		return
+	}
+	for _, a := range addrs {
+		e.do(request{kind: reqPersist, addr: a})
+	}
+	e.do(request{kind: reqFence})
+}
+
+func (e *env) Compute(n engine.Cycle) {
+	if n == 0 {
+		return
+	}
+	e.do(request{kind: reqCompute, cycles: n})
+}
+
+func (e *env) CompareAndSwap(addr memory.Addr, size int, old, new uint64) (uint64, bool) {
+	prev := e.do(request{kind: reqCAS, addr: addr, size: size, old: old, val: new})
+	return prev, prev == old
+}
+
+// Load64 is a convenience for pointer-sized loads.
+func Load64(e Env, addr memory.Addr) uint64 { return e.Load(addr, 8) }
+
+// Store64 is a convenience for pointer-sized stores.
+func Store64(e Env, addr memory.Addr, val uint64) { e.Store(addr, 8, val) }

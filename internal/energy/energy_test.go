@@ -1,0 +1,226 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// close reports whether got is within tol (relative) of want.
+func close(got, want, tol float64) bool {
+	if want == 0 {
+		return got == 0
+	}
+	return math.Abs(got-want)/math.Abs(want) <= tol
+}
+
+func TestTableVPlatforms(t *testing.T) {
+	mob, srv := Mobile(), Server()
+	if got := mob.TotalCacheBytes(); got != 8960*1024 { // 8.75 MiB
+		t.Fatalf("mobile cache = %d bytes, want 8.75 MiB", got)
+	}
+	wantSrv := uint64(1+32)*1024*1024 + uint64(2*35.75*1024*1024)
+	if got := srv.TotalCacheBytes(); got != wantSrv { // 104.5 MiB
+		t.Fatalf("server cache = %d bytes, want %d", got, wantSrv)
+	}
+	if mob.Channels != 2 || srv.Channels != 12 {
+		t.Fatal("channel counts wrong")
+	}
+	if mob.Cores != 6 || srv.Cores != 32 {
+		t.Fatal("core counts wrong")
+	}
+}
+
+// Table VII: eADR 46.5 mJ / 550 mJ; BBB 145 uJ / 775 uJ; ratios 320x / 709x.
+func TestTableVIIDrainEnergy(t *testing.T) {
+	m := DefaultCostModel()
+	rows := DrainCosts(m, 32)
+	mob, srv := rows[0], rows[1]
+	if !close(mob.EADREnergyJ, 46.5e-3, 0.02) {
+		t.Fatalf("mobile eADR energy = %g J, paper 46.5 mJ", mob.EADREnergyJ)
+	}
+	if !close(mob.BBBEnergyJ, 145e-6, 0.02) {
+		t.Fatalf("mobile BBB energy = %g J, paper 145 uJ", mob.BBBEnergyJ)
+	}
+	if !close(mob.EnergyRatio, 320, 0.03) {
+		t.Fatalf("mobile ratio = %g, paper 320x", mob.EnergyRatio)
+	}
+	if !close(srv.EADREnergyJ, 550e-3, 0.02) {
+		t.Fatalf("server eADR energy = %g J, paper 550 mJ", srv.EADREnergyJ)
+	}
+	if !close(srv.BBBEnergyJ, 775e-6, 0.02) {
+		t.Fatalf("server BBB energy = %g J, paper 775 uJ", srv.BBBEnergyJ)
+	}
+	if !close(srv.EnergyRatio, 709, 0.03) {
+		t.Fatalf("server ratio = %g, paper 709x", srv.EnergyRatio)
+	}
+}
+
+// Table VIII: eADR 0.8 ms / 1.8 ms; BBB 2.6 us / 2.4 us.
+func TestTableVIIIDrainTime(t *testing.T) {
+	m := DefaultCostModel()
+	rows := DrainCosts(m, 32)
+	mob, srv := rows[0], rows[1]
+	if !close(mob.EADRTimeS, 0.8e-3, 0.15) { // paper rounds to one digit
+		t.Fatalf("mobile eADR time = %g s, paper 0.8 ms", mob.EADRTimeS)
+	}
+	if !close(mob.BBBTimeS, 2.6e-6, 0.05) {
+		t.Fatalf("mobile BBB time = %g s, paper 2.6 us", mob.BBBTimeS)
+	}
+	if !close(srv.EADRTimeS, 1.8e-3, 0.05) {
+		t.Fatalf("server eADR time = %g s, paper 1.8 ms", srv.EADRTimeS)
+	}
+	if !close(srv.BBBTimeS, 2.4e-6, 0.05) {
+		t.Fatalf("server BBB time = %g s, paper 2.4 us", srv.BBBTimeS)
+	}
+	// Two-to-three orders of magnitude improvement, as the abstract claims.
+	if mob.TimeRatio < 100 || srv.TimeRatio < 100 {
+		t.Fatalf("time ratios %gx/%gx below two orders of magnitude", mob.TimeRatio, srv.TimeRatio)
+	}
+}
+
+// Table IX: battery volumes and core-area ratios.
+func TestTableIXBatterySizes(t *testing.T) {
+	m := DefaultCostModel()
+	rows := BatterySizes(m, 32)
+	byKey := map[string]BatteryRow{}
+	for _, r := range rows {
+		byKey[r.Platform+"/"+r.Scheme+"/"+r.Tech] = r
+	}
+	checks := []struct {
+		key string
+		vol float64
+		tol float64
+	}{
+		{"Mobile Class/eADR/SuperCap", 2.9e3, 0.02},
+		{"Mobile Class/eADR/Li-thin", 30, 0.06}, // paper rounds 28.8 -> 30
+		{"Mobile Class/BBB/SuperCap", 4.1, 0.03},
+		{"Mobile Class/BBB/Li-thin", 0.04, 0.05},
+		{"Server Class/eADR/SuperCap", 34e3, 0.02},
+		{"Server Class/eADR/Li-thin", 300, 0.15}, // paper rounds 342 -> 300
+		{"Server Class/BBB/SuperCap", 21.6, 0.02},
+		{"Server Class/BBB/Li-thin", 0.21, 0.03},
+	}
+	for _, c := range checks {
+		r, ok := byKey[c.key]
+		if !ok {
+			t.Fatalf("missing row %s", c.key)
+		}
+		if !close(r.VolumeMM3, c.vol, c.tol) {
+			t.Errorf("%s volume = %.4g mm^3, paper %.4g", c.key, r.VolumeMM3, c.vol)
+		}
+	}
+	// Area ratios: mobile eADR SuperCap ~77x core, BBB SuperCap ~97%.
+	if r := byKey["Mobile Class/eADR/SuperCap"]; !close(r.AreaRatioToCore, 77, 0.05) {
+		t.Errorf("mobile eADR SuperCap area ratio = %.1fx, paper ~77x", r.AreaRatioToCore)
+	}
+	if r := byKey["Mobile Class/BBB/SuperCap"]; !close(r.AreaRatioToCore, 0.972, 0.05) {
+		t.Errorf("mobile BBB SuperCap area ratio = %.3f, paper 97.2%%", r.AreaRatioToCore)
+	}
+	if r := byKey["Server Class/eADR/SuperCap"]; !close(r.AreaRatioToCore, 404, 0.05) {
+		t.Errorf("server eADR SuperCap area ratio = %.0fx, paper ~404x", r.AreaRatioToCore)
+	}
+	if r := byKey["Mobile Class/BBB/Li-thin"]; !close(r.AreaRatioToCore, 0.045, 0.07) {
+		t.Errorf("mobile BBB Li-thin area ratio = %.4f, paper 4.5%%", r.AreaRatioToCore)
+	}
+	if r := byKey["Server Class/eADR/Li-thin"]; !close(r.AreaRatioToCore, 18.7, 0.15) {
+		t.Errorf("server eADR Li-thin area ratio = %.1fx, paper 18.7x", r.AreaRatioToCore)
+	}
+}
+
+// Table X: battery volume vs bbPB entries (spot-check the paper's cells).
+func TestTableXBatterySweep(t *testing.T) {
+	m := DefaultCostModel()
+	rows := BatterySweep(m)
+	get := func(tech, platform string, entries int) float64 {
+		for _, r := range rows {
+			if r.Tech == tech && r.Platform == platform && r.Entries == entries {
+				return r.VolumeMM3
+			}
+		}
+		t.Fatalf("missing sweep row %s/%s/%d", tech, platform, entries)
+		return 0
+	}
+	checks := []struct {
+		tech, plat string
+		entries    int
+		want       float64
+	}{
+		{"SuperCap", "Mobile Class", 1, 0.12},
+		{"SuperCap", "Mobile Class", 32, 4.1},
+		{"SuperCap", "Mobile Class", 1024, 129.3},
+		{"SuperCap", "Server Class", 1, 0.7},
+		{"SuperCap", "Server Class", 32, 21.6},
+		{"SuperCap", "Server Class", 1024, 689.7},
+		{"Li-thin", "Mobile Class", 32, 0.04},
+		{"Li-thin", "Server Class", 1024, 6.8},
+	}
+	for _, c := range checks {
+		got := get(c.tech, c.plat, c.entries)
+		if !close(got, c.want, 0.06) {
+			t.Errorf("%s/%s/%d = %.4g mm^3, paper %.4g", c.tech, c.plat, c.entries, got, c.want)
+		}
+	}
+	// Even at 1024 entries BBB stays 22-49x cheaper than eADR (§V-A).
+	sizes := BatterySizes(m, 1024)
+	var eadrMob, bbbMob, eadrSrv, bbbSrv float64
+	for _, r := range sizes {
+		if r.Tech != "SuperCap" {
+			continue
+		}
+		switch r.Platform + "/" + r.Scheme {
+		case "Mobile Class/eADR":
+			eadrMob = r.VolumeMM3
+		case "Mobile Class/BBB":
+			bbbMob = r.VolumeMM3
+		case "Server Class/eADR":
+			eadrSrv = r.VolumeMM3
+		case "Server Class/BBB":
+			bbbSrv = r.VolumeMM3
+		}
+	}
+	if ratio := eadrMob / bbbMob; !close(ratio, 22, 0.1) {
+		t.Errorf("mobile 1024-entry ratio = %.1f, paper ~22x", ratio)
+	}
+	if ratio := eadrSrv / bbbSrv; !close(ratio, 49, 0.1) {
+		t.Errorf("server 1024-entry ratio = %.1f, paper ~49x", ratio)
+	}
+}
+
+// Battery volume is linear in energy and inversely linear in density.
+func TestPropertyBatteryScaling(t *testing.T) {
+	m := DefaultCostModel()
+	f := func(e uint32, k uint8) bool {
+		energy := float64(e%1_000_000) * 1e-6
+		mult := float64(k%7) + 1
+		v1 := m.BatteryVolumeMM3(energy, SuperCap())
+		v2 := m.BatteryVolumeMM3(energy*mult, SuperCap())
+		return close(v2, v1*mult, 1e-9) || (energy == 0 && v2 == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BBB's drain cost is linear in entries and cores.
+func TestPropertyBBBDrainLinear(t *testing.T) {
+	m := DefaultCostModel()
+	p := Mobile()
+	e32 := m.BBBDrainEnergyJ(p, 32)
+	e64 := m.BBBDrainEnergyJ(p, 64)
+	if !close(e64, 2*e32, 1e-9) {
+		t.Fatalf("doubling entries did not double energy: %g vs %g", e64, 2*e32)
+	}
+	p2 := p
+	p2.Cores = 12
+	if !close(m.BBBDrainEnergyJ(p2, 32), 2*e32, 1e-9) {
+		t.Fatal("doubling cores did not double energy")
+	}
+}
+
+func TestFootprintArea(t *testing.T) {
+	// A 1000 mm^3 cube has 100 mm^2 faces.
+	if got := FootprintAreaMM2(1000); !close(got, 100, 1e-9) {
+		t.Fatalf("FootprintAreaMM2(1000) = %g", got)
+	}
+}

@@ -1,0 +1,101 @@
+package energy
+
+// This file renders the paper's evaluation tables from the cost model, so
+// the benchmark harness and the bbbench CLI print exactly the rows the
+// paper reports.
+
+// DrainCostRow is one platform's Table VII / VIII comparison.
+type DrainCostRow struct {
+	Platform    string
+	EADREnergyJ float64
+	BBBEnergyJ  float64
+	EnergyRatio float64 // eADR / BBB ("normalized to BBB")
+	EADRTimeS   float64
+	BBBTimeS    float64
+	TimeRatio   float64
+	BBPBEntries int
+}
+
+// DrainCosts computes Tables VII and VIII for both platforms at the given
+// bbPB size (the paper uses 32).
+func DrainCosts(m CostModel, entries int) []DrainCostRow {
+	var rows []DrainCostRow
+	for _, p := range Platforms() {
+		e := m.EADRDrainEnergyJ(p, true)
+		b := m.BBBDrainEnergyJ(p, entries)
+		et := m.EADRDrainTimeS(p)
+		bt := m.BBBDrainTimeS(p, entries)
+		rows = append(rows, DrainCostRow{
+			Platform:    p.Name,
+			EADREnergyJ: e, BBBEnergyJ: b, EnergyRatio: e / b,
+			EADRTimeS: et, BBBTimeS: bt, TimeRatio: et / bt,
+			BBPBEntries: entries,
+		})
+	}
+	return rows
+}
+
+// BatteryRow is one (platform, scheme, technology) cell group of Table IX.
+type BatteryRow struct {
+	Platform        string
+	Scheme          string
+	Tech            string
+	VolumeMM3       float64
+	AreaMM2         float64
+	AreaRatioToCore float64
+}
+
+// BatterySizes computes Table IX: battery volume and core-area ratio for
+// eADR (entire caches assumed dirty) and BBB (full bbPBs) under both
+// technologies.
+func BatterySizes(m CostModel, entries int) []BatteryRow {
+	var rows []BatteryRow
+	for _, p := range Platforms() {
+		for _, scheme := range []string{"eADR", "BBB"} {
+			var energy float64
+			if scheme == "eADR" {
+				energy = m.EADRDrainEnergyJ(p, false)
+			} else {
+				energy = m.BBBDrainEnergyJ(p, entries)
+			}
+			for _, tech := range []BatteryTech{SuperCap(), LiThin()} {
+				vol := m.BatteryVolumeMM3(energy, tech)
+				area := FootprintAreaMM2(vol)
+				rows = append(rows, BatteryRow{
+					Platform: p.Name, Scheme: scheme, Tech: tech.Name,
+					VolumeMM3: vol, AreaMM2: area,
+					AreaRatioToCore: p.AreaRatioToCore(area),
+				})
+			}
+		}
+	}
+	return rows
+}
+
+// BatterySweepRow is one Table X cell: battery volume at a bbPB size.
+type BatterySweepRow struct {
+	Tech      string
+	Platform  string
+	Entries   int
+	VolumeMM3 float64
+}
+
+// TableXEntries is the paper's bbPB-size sweep.
+var TableXEntries = []int{1, 4, 16, 32, 64, 256, 1024}
+
+// BatterySweep computes Table X: BBB battery volume vs bbPB entries for
+// both platforms and technologies.
+func BatterySweep(m CostModel) []BatterySweepRow {
+	var rows []BatterySweepRow
+	for _, tech := range []BatteryTech{SuperCap(), LiThin()} {
+		for _, p := range Platforms() {
+			for _, n := range TableXEntries {
+				rows = append(rows, BatterySweepRow{
+					Tech: tech.Name, Platform: p.Name, Entries: n,
+					VolumeMM3: m.BatteryVolumeMM3(m.BBBDrainEnergyJ(p, n), tech),
+				})
+			}
+		}
+	}
+	return rows
+}

@@ -1,0 +1,148 @@
+// Package engine provides the discrete-event simulation kernel used by every
+// timed component in the BBB simulator.
+//
+// The kernel is deliberately simple: a binary heap of events ordered by
+// (time, sequence). Events scheduled for the same cycle fire in the order
+// they were scheduled, which makes whole-system runs deterministic.
+package engine
+
+import (
+	"container/heap"
+	"fmt"
+
+	"bbb/internal/trace"
+)
+
+// Cycle is a point in simulated time, measured in core clock cycles.
+type Cycle = uint64
+
+// Event is a callback scheduled to fire at a particular cycle.
+type event struct {
+	when Cycle
+	seq  uint64
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the discrete-event scheduler. The zero value is not usable;
+// construct one with New.
+type Engine struct {
+	pq      eventHeap
+	now     Cycle
+	seq     uint64
+	stopped bool
+	// Dispatched counts events executed, useful for sanity limits in tests.
+	Dispatched uint64
+	// Trace, when non-nil, receives microarchitectural events from every
+	// component sharing this engine (components call Engine.Trace.Emit
+	// with Engine.Now(); a nil recorder drops events for free).
+	Trace *trace.Recorder
+}
+
+// EmitTrace records a trace event at the current cycle; free when tracing
+// is off.
+func (e *Engine) EmitTrace(kind trace.Kind, core int, addr, aux uint64) {
+	e.Trace.Emit(e.now, kind, core, addr, aux)
+}
+
+// New returns an empty engine at cycle 0.
+func New() *Engine {
+	e := &Engine{}
+	heap.Init(&e.pq)
+	return e
+}
+
+// Now reports the current simulated cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Schedule queues fn to run delay cycles from now. A delay of 0 runs fn
+// later in the current cycle, after already-queued same-cycle events.
+func (e *Engine) Schedule(delay Cycle, fn func()) {
+	if fn == nil {
+		panic("engine: Schedule called with nil fn")
+	}
+	e.seq++
+	heap.Push(&e.pq, event{when: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// At queues fn to run at the absolute cycle when, which must not be in the
+// past.
+func (e *Engine) At(when Cycle, fn func()) {
+	if when < e.now {
+		panic(fmt.Sprintf("engine: At(%d) is in the past (now=%d)", when, e.now))
+	}
+	e.Schedule(when-e.now, fn)
+}
+
+// Stop makes the current Run call return after the in-flight event.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return e.pq.Len() }
+
+// Step executes the single earliest event, advancing the clock to its time.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if e.pq.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pq).(event)
+	if ev.when < e.now {
+		panic("engine: time went backwards")
+	}
+	e.now = ev.when
+	e.Dispatched++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil executes events until the queue is empty, Stop is called, or the
+// clock would pass limit. Events at exactly limit still execute.
+func (e *Engine) RunUntil(limit Cycle) {
+	e.stopped = false
+	for !e.stopped {
+		if e.pq.Len() == 0 || e.pq[0].when > limit {
+			return
+		}
+		e.Step()
+	}
+}
+
+// Ticker invokes fn every period cycles until fn returns false.
+func (e *Engine) Ticker(period Cycle, fn func() bool) {
+	if period == 0 {
+		panic("engine: Ticker period must be positive")
+	}
+	var tick func()
+	tick = func() {
+		if fn() {
+			e.Schedule(period, tick)
+		}
+	}
+	e.Schedule(period, tick)
+}

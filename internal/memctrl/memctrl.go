@@ -1,0 +1,331 @@
+// Package memctrl models the DRAM and NVMM memory controllers.
+//
+// The NVMM controller implements ADR (asynchronous DRAM refresh) semantics
+// from the paper's baseline: a write becomes durable the moment it is
+// accepted into the controller's write-pending queue (WPQ), which is inside
+// the persistence domain and is drained to the NVMM medium by battery on a
+// power failure. Reads snoop the WPQ. WPQ entries coalesce by line and drain
+// lazily above an occupancy threshold, mirroring the DRAM-controller
+// optimizations the paper cites (§III-F).
+//
+// Timing is a latency + per-channel occupancy model: each 64-byte transfer
+// occupies one channel for a bandwidth-derived number of cycles and
+// completes after the medium latency.
+package memctrl
+
+import (
+	"fmt"
+
+	"bbb/internal/engine"
+	"bbb/internal/memory"
+	"bbb/internal/stats"
+	"bbb/internal/trace"
+)
+
+// Config describes one controller.
+type Config struct {
+	Name     string
+	Region   memory.Region
+	ReadLat  engine.Cycle // medium read latency, cycles
+	WriteLat engine.Cycle // medium write latency, cycles
+	Channels int
+	// ReadOcc/WriteOcc are per-transfer channel occupancies in cycles,
+	// i.e. 64 B divided by per-channel bandwidth.
+	ReadOcc  engine.Cycle
+	WriteOcc engine.Cycle
+
+	// WPQ configuration; WPQEntries == 0 disables the WPQ (DRAM).
+	WPQEntries        int
+	WPQDrainThreshold float64 // drain when occupancy/capacity exceeds this
+	WPQAcceptLat      engine.Cycle
+}
+
+// DefaultDRAM returns the Table III DRAM controller at a 2 GHz core clock
+// (1 cycle = 0.5 ns): 55 ns read/write.
+func DefaultDRAM() Config {
+	return Config{
+		Name:     "dram",
+		Region:   memory.RegionDRAM,
+		ReadLat:  110,
+		WriteLat: 110,
+		Channels: 2,
+		ReadOcc:  10,
+		WriteOcc: 10,
+	}
+}
+
+// DefaultNVMM returns the Table III NVMM controller: 150 ns read, 500 ns
+// write, ADR WPQ. Occupancies follow the Optane measurements the paper
+// cites (~2.3 GB/s write, ~6.6 GB/s read per channel).
+func DefaultNVMM() Config {
+	return Config{
+		Name:              "nvmm",
+		Region:            memory.RegionNVMM,
+		ReadLat:           300,
+		WriteLat:          1000,
+		Channels:          2,
+		ReadOcc:           20,
+		WriteOcc:          56,
+		WPQEntries:        32,
+		WPQDrainThreshold: 0.75,
+		WPQAcceptLat:      8,
+	}
+}
+
+type wpqEntry struct {
+	addr     memory.Addr
+	data     [memory.LineSize]byte
+	draining bool
+}
+
+type pendingWrite struct {
+	addr memory.Addr
+	data [memory.LineSize]byte
+	done func()
+}
+
+// Controller is one memory controller bound to an engine and the shared
+// functional memory.
+type Controller struct {
+	cfg Config
+	eng *engine.Engine
+	mem *memory.Memory
+
+	chanFree []engine.Cycle // absolute cycle each channel becomes free
+
+	wpq     []wpqEntry
+	waiters []pendingWrite // writes stalled on a full WPQ
+
+	// Stats collects controller counters, prefixed with the config name.
+	Stats *stats.Counters
+}
+
+// New builds a controller.
+func New(cfg Config, eng *engine.Engine, mem *memory.Memory) *Controller {
+	if cfg.Channels <= 0 {
+		panic("memctrl: Channels must be positive")
+	}
+	return &Controller{
+		cfg:      cfg,
+		eng:      eng,
+		mem:      mem,
+		chanFree: make([]engine.Cycle, cfg.Channels),
+		Stats:    stats.NewCounters(),
+	}
+}
+
+// Config returns the controller's configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+func (c *Controller) counter(suffix string) string { return c.cfg.Name + "." + suffix }
+
+// claimChannel reserves the earliest-free channel for occ cycles and returns
+// the cycle at which the transfer starts.
+func (c *Controller) claimChannel(occ engine.Cycle) engine.Cycle {
+	best := 0
+	for i, f := range c.chanFree {
+		if f < c.chanFree[best] {
+			best = i
+		}
+	}
+	start := c.eng.Now()
+	if c.chanFree[best] > start {
+		start = c.chanFree[best]
+	}
+	c.chanFree[best] = start + occ
+	return start
+}
+
+// Read fetches the line at addr, invoking done with its data when the read
+// completes. The WPQ (if any) and writes still stalled behind a full WPQ
+// are snooped first: a hit returns the queued data at the accept latency
+// without touching the medium.
+func (c *Controller) Read(addr memory.Addr, done func(data [memory.LineSize]byte)) {
+	c.Stats.Inc(c.counter("reads"))
+	if data, ok := c.snoop(addr); ok {
+		c.Stats.Inc(c.counter("wpq_read_hits"))
+		c.eng.Schedule(c.cfg.WPQAcceptLat, func() { done(data) })
+		return
+	}
+	start := c.claimChannel(c.cfg.ReadOcc)
+	finish := start + c.cfg.ReadLat
+	c.eng.At(finish, func() {
+		var data [memory.LineSize]byte
+		c.mem.ReadLine(addr, &data)
+		done(data)
+	})
+}
+
+// Write makes the line at addr durable (NVMM) or written (DRAM), invoking
+// done at the controller's persist point: WPQ acceptance for a controller
+// with a WPQ, medium completion otherwise.
+//
+// The write is functionally visible to snooping reads from the moment Write
+// is called — only the done callback carries timing — so an eviction
+// followed immediately by a refetch can never observe stale data.
+func (c *Controller) Write(addr memory.Addr, data [memory.LineSize]byte, done func()) {
+	c.Stats.Inc(c.counter("writes"))
+	if c.cfg.WPQEntries == 0 {
+		c.mem.WriteLine(addr, &data)
+		start := c.claimChannel(c.cfg.WriteOcc)
+		finish := start + c.cfg.WriteLat
+		if done != nil {
+			c.eng.At(finish, done)
+		}
+		return
+	}
+	c.wpqWrite(pendingWrite{addr: addr, data: data, done: done})
+}
+
+// snoop returns the newest queued data for addr, searching stalled writers
+// (newest) before the WPQ.
+func (c *Controller) snoop(addr memory.Addr) ([memory.LineSize]byte, bool) {
+	for i := len(c.waiters) - 1; i >= 0; i-- {
+		if c.waiters[i].addr == addr {
+			return c.waiters[i].data, true
+		}
+	}
+	if i := c.wpqFind(addr); i >= 0 {
+		return c.wpq[i].data, true
+	}
+	return [memory.LineSize]byte{}, false
+}
+
+func (c *Controller) wpqWrite(w pendingWrite) {
+	// Coalesce onto an existing entry for the same line, even one already
+	// draining (the drain snapshot was taken; a fresh entry is made then).
+	if i := c.wpqFind(w.addr); i >= 0 && !c.wpq[i].draining {
+		c.wpq[i].data = w.data
+		c.Stats.Inc(c.counter("wpq_coalesced"))
+		c.ack(w.done)
+		return
+	}
+	if len(c.wpq) >= c.cfg.WPQEntries {
+		c.Stats.Inc(c.counter("wpq_full_stalls"))
+		c.waiters = append(c.waiters, w)
+		return
+	}
+	c.wpq = append(c.wpq, wpqEntry{addr: w.addr, data: w.data})
+	c.eng.EmitTrace(trace.KindWPQInsert, -1, w.addr, 0)
+	c.ack(w.done)
+	c.maybeDrain()
+}
+
+func (c *Controller) ack(done func()) {
+	if done == nil {
+		return
+	}
+	c.eng.Schedule(c.cfg.WPQAcceptLat, done)
+}
+
+// wpqFind returns the index of the newest entry for addr (a draining entry
+// may coexist with a fresher one written after its drain snapshot), or -1.
+func (c *Controller) wpqFind(addr memory.Addr) int {
+	for i := len(c.wpq) - 1; i >= 0; i-- {
+		if c.wpq[i].addr == addr {
+			return i
+		}
+	}
+	return -1
+}
+
+// maybeDrain starts medium writes while the occupancy projected after all
+// in-flight drains complete still exceeds the threshold.
+func (c *Controller) maybeDrain() {
+	limit := int(float64(c.cfg.WPQEntries) * c.cfg.WPQDrainThreshold)
+	for len(c.wpq)-c.numDraining() > limit {
+		i := c.oldestNotDraining()
+		if i < 0 {
+			return
+		}
+		c.drainEntry(i)
+	}
+}
+
+func (c *Controller) numDraining() int {
+	n := 0
+	for i := range c.wpq {
+		if c.wpq[i].draining {
+			n++
+		}
+	}
+	return n
+}
+
+// oldestNotDraining returns the index of the FCFS drain candidate.
+func (c *Controller) oldestNotDraining() int {
+	for i := range c.wpq {
+		if !c.wpq[i].draining {
+			return i
+		}
+	}
+	return -1
+}
+
+// drainEntry hands entry i to the medium write pipeline. The WPQ slot frees
+// when the transfer starts on its channel (so sustained drain throughput is
+// bounded by channel bandwidth, not by the per-write medium latency), and
+// the data becomes functionally visible in the image at that same point —
+// any later read either snoops a fresher WPQ entry or sees the image.
+func (c *Controller) drainEntry(i int) {
+	c.wpq[i].draining = true
+	addr, data := c.wpq[i].addr, c.wpq[i].data
+	start := c.claimChannel(c.cfg.WriteOcc)
+	c.eng.At(start, func() {
+		c.mem.WriteLine(addr, &data)
+		c.wpqRemove(addr)
+		c.admitWaiters()
+		c.maybeDrain()
+	})
+	c.eng.At(start+c.cfg.WriteLat, func() {
+		c.Stats.Inc(c.counter("wpq_drains"))
+		c.eng.EmitTrace(trace.KindWPQDrain, -1, addr, 0)
+	})
+}
+
+func (c *Controller) wpqRemove(addr memory.Addr) {
+	for i := range c.wpq {
+		if c.wpq[i].addr == addr && c.wpq[i].draining {
+			c.wpq = append(c.wpq[:i], c.wpq[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("memctrl %s: draining entry %#x vanished", c.cfg.Name, addr))
+}
+
+func (c *Controller) admitWaiters() {
+	for len(c.waiters) > 0 && len(c.wpq) < c.cfg.WPQEntries {
+		w := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		c.wpqWrite(w)
+	}
+}
+
+// WPQOccupancy reports the current number of WPQ entries.
+func (c *Controller) WPQOccupancy() int { return len(c.wpq) }
+
+// CrashDrain flushes every WPQ entry (and any stalled writers) straight to
+// the memory image, as the ADR battery would on power failure. It returns
+// the number of lines drained. Timing-free: used only at crash points and at
+// end-of-run finalization.
+func (c *Controller) CrashDrain() int {
+	n := 0
+	for i := range c.wpq {
+		c.mem.WriteLine(c.wpq[i].addr, &c.wpq[i].data)
+		n++
+	}
+	c.wpq = c.wpq[:0]
+	for _, w := range c.waiters {
+		c.mem.WriteLine(w.addr, &w.data)
+		n++
+	}
+	c.waiters = nil
+	c.Stats.Add(c.counter("crash_drained"), uint64(n))
+	return n
+}
+
+// MediumWrites reports how many line writes reached the medium, the
+// endurance-relevant count used by Fig. 7b.
+func (c *Controller) MediumWrites() uint64 {
+	return c.mem.Writes[c.cfg.Region]
+}

@@ -1,0 +1,187 @@
+package memctrl
+
+import (
+	"testing"
+
+	"bbb/internal/engine"
+	"bbb/internal/memory"
+)
+
+func newNVMM(t *testing.T) (*engine.Engine, *memory.Memory, *Controller) {
+	t.Helper()
+	eng := engine.New()
+	mem := memory.New(memory.DefaultLayout())
+	return eng, mem, New(DefaultNVMM(), eng, mem)
+}
+
+func nline(mem *memory.Memory, n uint64) memory.Addr {
+	return mem.Layout().NVMMBase + memory.Addr(n)*memory.LineSize
+}
+
+func fill(v byte) [memory.LineSize]byte {
+	var d [memory.LineSize]byte
+	for i := range d {
+		d[i] = v
+	}
+	return d
+}
+
+func TestWriteAcceptedAtWPQ(t *testing.T) {
+	eng, mem, c := newNVMM(t)
+	a := nline(mem, 1)
+	var ackAt engine.Cycle
+	c.Write(a, fill(7), func() { ackAt = eng.Now() })
+	eng.Run()
+	if ackAt != c.Config().WPQAcceptLat {
+		t.Fatalf("persist ack at %d, want WPQ accept latency %d", ackAt, c.Config().WPQAcceptLat)
+	}
+	// Below threshold: the line stays in the WPQ, not yet on the medium.
+	if c.MediumWrites() != 0 {
+		t.Fatalf("medium writes = %d, want 0 (below drain threshold)", c.MediumWrites())
+	}
+	if c.WPQOccupancy() != 1 {
+		t.Fatalf("WPQ occupancy = %d, want 1", c.WPQOccupancy())
+	}
+}
+
+func TestReadSnoopsWPQ(t *testing.T) {
+	eng, mem, c := newNVMM(t)
+	a := nline(mem, 2)
+	c.Write(a, fill(9), nil)
+	var got [memory.LineSize]byte
+	c.Read(a, func(d [memory.LineSize]byte) { got = d })
+	eng.Run()
+	if got[0] != 9 {
+		t.Fatalf("read returned %d, want WPQ data 9", got[0])
+	}
+	if c.Stats.Get("nvmm.wpq_read_hits") != 1 {
+		t.Fatal("expected a WPQ read hit")
+	}
+}
+
+func TestReadFromMedium(t *testing.T) {
+	eng, mem, c := newNVMM(t)
+	a := nline(mem, 3)
+	d := fill(5)
+	mem.Poke(a, d[:])
+	var doneAt engine.Cycle
+	var got [memory.LineSize]byte
+	c.Read(a, func(d [memory.LineSize]byte) { got, doneAt = d, eng.Now() })
+	eng.Run()
+	if got != d {
+		t.Fatal("medium read data mismatch")
+	}
+	if doneAt != c.Config().ReadLat {
+		t.Fatalf("read completed at %d, want %d", doneAt, c.Config().ReadLat)
+	}
+}
+
+func TestWPQCoalescing(t *testing.T) {
+	eng, mem, c := newNVMM(t)
+	a := nline(mem, 4)
+	c.Write(a, fill(1), nil)
+	c.Write(a, fill(2), nil)
+	eng.Run()
+	if c.WPQOccupancy() != 1 {
+		t.Fatalf("occupancy = %d, want 1 (coalesced)", c.WPQOccupancy())
+	}
+	if c.Stats.Get("nvmm.wpq_coalesced") != 1 {
+		t.Fatal("coalesce not counted")
+	}
+	var got [memory.LineSize]byte
+	c.Read(a, func(d [memory.LineSize]byte) { got = d })
+	eng.Run()
+	if got[0] != 2 {
+		t.Fatalf("read %d, want last write 2", got[0])
+	}
+}
+
+func TestThresholdDraining(t *testing.T) {
+	eng, mem, c := newNVMM(t)
+	// Fill past the 75% threshold of 32 entries.
+	for i := uint64(0); i < 30; i++ {
+		c.Write(nline(mem, i), fill(byte(i)), nil)
+	}
+	eng.Run()
+	if c.WPQOccupancy() > 24 {
+		t.Fatalf("occupancy = %d, want drained to <= threshold 24", c.WPQOccupancy())
+	}
+	if c.MediumWrites() == 0 {
+		t.Fatal("no medium writes despite exceeding threshold")
+	}
+}
+
+func TestWPQFullStallsAndRecovers(t *testing.T) {
+	eng, mem, c := newNVMM(t)
+	acked := 0
+	n := uint64(64) // 2x capacity
+	for i := uint64(0); i < n; i++ {
+		c.Write(nline(mem, i), fill(byte(i)), func() { acked++ })
+	}
+	eng.Run()
+	if acked != int(n) {
+		t.Fatalf("acked = %d, want %d (stalled writes must complete)", acked, n)
+	}
+	if c.Stats.Get("nvmm.wpq_full_stalls") == 0 {
+		t.Fatal("expected full-WPQ stalls")
+	}
+	// Everything is durable: WPQ + medium covers all lines.
+	c.CrashDrain()
+	for i := uint64(0); i < n; i++ {
+		var d [memory.LineSize]byte
+		mem.PeekLine(nline(mem, i), &d)
+		if d[0] != byte(i) {
+			t.Fatalf("line %d lost: got %d", i, d[0])
+		}
+	}
+}
+
+func TestCrashDrain(t *testing.T) {
+	eng, mem, c := newNVMM(t)
+	a := nline(mem, 7)
+	c.Write(a, fill(42), nil)
+	eng.Run()
+	n := c.CrashDrain()
+	if n != 1 {
+		t.Fatalf("CrashDrain = %d, want 1", n)
+	}
+	var d [memory.LineSize]byte
+	mem.PeekLine(a, &d)
+	if d[0] != 42 {
+		t.Fatal("crash drain did not persist WPQ contents")
+	}
+	if c.WPQOccupancy() != 0 {
+		t.Fatal("WPQ not empty after crash drain")
+	}
+}
+
+func TestDRAMWriteNoWPQ(t *testing.T) {
+	eng := engine.New()
+	mem := memory.New(memory.DefaultLayout())
+	c := New(DefaultDRAM(), eng, mem)
+	a := memory.Addr(0x1000)
+	var doneAt engine.Cycle
+	c.Write(a, fill(3), func() { doneAt = eng.Now() })
+	eng.Run()
+	if doneAt != c.Config().WriteLat {
+		t.Fatalf("DRAM write done at %d, want %d", doneAt, c.Config().WriteLat)
+	}
+	if mem.Writes[memory.RegionDRAM] != 1 {
+		t.Fatal("DRAM medium write not recorded")
+	}
+}
+
+func TestChannelContention(t *testing.T) {
+	eng, mem, c := newNVMM(t)
+	// Issue 6 reads; with 2 channels and ReadOcc=20, the last should start
+	// at cycle 40 and finish at 40+ReadLat.
+	var last engine.Cycle
+	for i := uint64(0); i < 6; i++ {
+		c.Read(nline(mem, 100+i), func([memory.LineSize]byte) { last = eng.Now() })
+	}
+	eng.Run()
+	want := 2*c.Config().ReadOcc + c.Config().ReadLat
+	if last != want {
+		t.Fatalf("last read at %d, want %d (channel queueing)", last, want)
+	}
+}

@@ -1,0 +1,205 @@
+// Package memory models the flat physical address space of the simulated
+// machine: a DRAM region and an NVMM region, with a sparse page-granular
+// backing store so multi-gigabyte address spaces cost only what is touched.
+//
+// The NVMM region doubles as the durable image used by crash-recovery
+// checks: whatever bytes are in the NVMM image at (or drained to it after) a
+// crash is exactly what post-crash recovery code would observe.
+package memory
+
+import "fmt"
+
+// Addr is a physical byte address.
+type Addr = uint64
+
+const (
+	// PageSize is the backing-store granularity.
+	PageSize = 4096
+	// LineSize is the cache-line size used throughout the simulator (64 B,
+	// per Table III of the paper).
+	LineSize = 64
+)
+
+// LineAddr returns the line-aligned address containing a.
+func LineAddr(a Addr) Addr { return a &^ (LineSize - 1) }
+
+// LineOffset returns a's offset within its cache line.
+func LineOffset(a Addr) int { return int(a & (LineSize - 1)) }
+
+// Region identifies which physical memory an address maps to.
+type Region int
+
+const (
+	// RegionDRAM is volatile main memory.
+	RegionDRAM Region = iota
+	// RegionNVMM is non-volatile main memory.
+	RegionNVMM
+)
+
+func (r Region) String() string {
+	switch r {
+	case RegionDRAM:
+		return "DRAM"
+	case RegionNVMM:
+		return "NVMM"
+	default:
+		return fmt.Sprintf("Region(%d)", int(r))
+	}
+}
+
+// Layout describes the physical address map. The paper's machine has 8 GiB
+// of DRAM and 8 GiB of NVMM behind separate controllers; a portion of the
+// NVMM range holds persistent data (allocated with palloc).
+type Layout struct {
+	DRAMBase Addr
+	DRAMSize uint64
+	NVMMBase Addr
+	NVMMSize uint64
+	// PersistentBase..PersistentBase+PersistentSize is the persistent heap
+	// inside the NVMM range. Stores to it are "persisting stores".
+	PersistentBase Addr
+	PersistentSize uint64
+}
+
+// DefaultLayout mirrors Table III: 8 GiB DRAM at 0, 8 GiB NVMM above it,
+// with the entire NVMM range available as persistent heap.
+func DefaultLayout() Layout {
+	const gib = 1 << 30
+	return Layout{
+		DRAMBase:       0,
+		DRAMSize:       8 * gib,
+		NVMMBase:       8 * gib,
+		NVMMSize:       8 * gib,
+		PersistentBase: 8 * gib,
+		PersistentSize: 8 * gib,
+	}
+}
+
+// RegionOf reports which memory a falls into. Addresses outside both ranges
+// panic: the simulator never fabricates them.
+func (l Layout) RegionOf(a Addr) Region {
+	switch {
+	case a >= l.DRAMBase && a < l.DRAMBase+l.DRAMSize:
+		return RegionDRAM
+	case a >= l.NVMMBase && a < l.NVMMBase+l.NVMMSize:
+		return RegionNVMM
+	default:
+		panic(fmt.Sprintf("memory: address %#x outside DRAM and NVMM ranges", a))
+	}
+}
+
+// Persistent reports whether a lies in the persistent heap, i.e. whether a
+// store to it is a persisting store.
+func (l Layout) Persistent(a Addr) bool {
+	return a >= l.PersistentBase && a < l.PersistentBase+l.PersistentSize
+}
+
+// Memory is the functional backing store for the whole physical address
+// space. It is shared by the DRAM and NVMM controllers; Region bookkeeping
+// is purely in Layout.
+type Memory struct {
+	layout Layout
+	pages  map[Addr]*[PageSize]byte
+	wear   map[Addr]uint64 // per-line NVMM write counts (optional)
+
+	// Writes counts line-sized writes per region (for endurance accounting).
+	Writes [2]uint64
+	// Reads counts line-sized reads per region.
+	Reads [2]uint64
+}
+
+// New returns an empty memory with the given layout.
+func New(l Layout) *Memory {
+	return &Memory{layout: l, pages: make(map[Addr]*[PageSize]byte)}
+}
+
+// Layout returns the address map.
+func (m *Memory) Layout() Layout { return m.layout }
+
+func (m *Memory) page(a Addr, create bool) *[PageSize]byte {
+	base := a &^ (PageSize - 1)
+	p := m.pages[base]
+	if p == nil && create {
+		p = new([PageSize]byte)
+		m.pages[base] = p
+	}
+	return p
+}
+
+// ReadLine copies the 64-byte line containing a into dst and bumps read
+// accounting. a must be line-aligned.
+func (m *Memory) ReadLine(a Addr, dst *[LineSize]byte) {
+	m.mustAligned(a)
+	m.Reads[m.layout.RegionOf(a)]++
+	m.peekLine(a, dst)
+}
+
+// WriteLine stores the 64-byte line at a and bumps write accounting. a must
+// be line-aligned.
+func (m *Memory) WriteLine(a Addr, src *[LineSize]byte) {
+	m.mustAligned(a)
+	m.Writes[m.layout.RegionOf(a)]++
+	m.recordWear(a)
+	p := m.page(a, true)
+	copy(p[a&(PageSize-1):], src[:])
+}
+
+// PeekLine reads line bytes without touching accounting (used by recovery
+// checks and tests).
+func (m *Memory) PeekLine(a Addr, dst *[LineSize]byte) {
+	m.mustAligned(a)
+	m.peekLine(a, dst)
+}
+
+func (m *Memory) peekLine(a Addr, dst *[LineSize]byte) {
+	p := m.page(a, false)
+	if p == nil {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	copy(dst[:], p[a&(PageSize-1):])
+}
+
+// Peek reads n bytes starting at a without accounting; it may cross lines
+// and pages.
+func (m *Memory) Peek(a Addr, n int) []byte {
+	out := make([]byte, n)
+	for i := 0; i < n; {
+		p := m.page(a+Addr(i), false)
+		off := int((a + Addr(i)) & (PageSize - 1))
+		chunk := PageSize - off
+		if chunk > n-i {
+			chunk = n - i
+		}
+		if p != nil {
+			copy(out[i:i+chunk], p[off:off+chunk])
+		}
+		i += chunk
+	}
+	return out
+}
+
+// Poke writes raw bytes without accounting (test/initialization helper).
+func (m *Memory) Poke(a Addr, b []byte) {
+	for i := 0; i < len(b); {
+		p := m.page(a+Addr(i), true)
+		off := int((a + Addr(i)) & (PageSize - 1))
+		chunk := PageSize - off
+		if chunk > len(b)-i {
+			chunk = len(b) - i
+		}
+		copy(p[off:off+chunk], b[i:i+chunk])
+		i += chunk
+	}
+}
+
+// TouchedPages reports how many distinct pages have been materialized.
+func (m *Memory) TouchedPages() int { return len(m.pages) }
+
+func (m *Memory) mustAligned(a Addr) {
+	if a%LineSize != 0 {
+		panic(fmt.Sprintf("memory: address %#x not line-aligned", a))
+	}
+}

@@ -1,0 +1,65 @@
+package memory
+
+import "sort"
+
+// Wear tracking: NVM cells have limited write endurance (the paper's
+// motivation for counting NVMM writes in Fig. 7b and for skipping redundant
+// LLC writebacks in §III-E). The memory records per-line write counts for
+// the NVMM region so experiments can report not just totals but the
+// *distribution* — a hot line wears out first, regardless of the average.
+
+// WearStats summarizes the per-line write distribution of the NVMM region.
+type WearStats struct {
+	// LinesWritten is the number of distinct NVMM lines ever written.
+	LinesWritten int
+	// TotalWrites is the total number of NVMM line writes.
+	TotalWrites uint64
+	// MaxWrites is the hottest line's write count.
+	MaxWrites uint64
+	// MaxLine is the hottest line's address.
+	MaxLine Addr
+	// MeanWrites is TotalWrites / LinesWritten.
+	MeanWrites float64
+	// P99Writes is the 99th-percentile per-line write count.
+	P99Writes uint64
+}
+
+// EnableWearTracking turns on per-line NVMM write accounting (off by
+// default: the map costs memory on big runs).
+func (m *Memory) EnableWearTracking() {
+	if m.wear == nil {
+		m.wear = make(map[Addr]uint64)
+	}
+}
+
+// WearTrackingEnabled reports whether per-line accounting is on.
+func (m *Memory) WearTrackingEnabled() bool { return m.wear != nil }
+
+func (m *Memory) recordWear(a Addr) {
+	if m.wear != nil && m.layout.RegionOf(a) == RegionNVMM {
+		m.wear[a]++
+	}
+}
+
+// Wear summarizes the per-line write distribution. Zero-valued stats are
+// returned when tracking is off or nothing was written.
+func (m *Memory) Wear() WearStats {
+	var s WearStats
+	if len(m.wear) == 0 {
+		return s
+	}
+	counts := make([]uint64, 0, len(m.wear))
+	for a, n := range m.wear {
+		s.TotalWrites += n
+		counts = append(counts, n)
+		if n > s.MaxWrites {
+			s.MaxWrites = n
+			s.MaxLine = a
+		}
+	}
+	s.LinesWritten = len(m.wear)
+	s.MeanWrites = float64(s.TotalWrites) / float64(s.LinesWritten)
+	sort.Slice(counts, func(i, j int) bool { return counts[i] < counts[j] })
+	s.P99Writes = counts[(len(counts)-1)*99/100]
+	return s
+}

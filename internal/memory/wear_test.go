@@ -1,0 +1,51 @@
+package memory
+
+import "testing"
+
+func TestWearTrackingOffByDefault(t *testing.T) {
+	m := New(DefaultLayout())
+	var l [LineSize]byte
+	m.WriteLine(m.Layout().NVMMBase, &l)
+	if m.WearTrackingEnabled() {
+		t.Fatal("tracking should be off by default")
+	}
+	if s := m.Wear(); s.LinesWritten != 0 {
+		t.Fatalf("stats without tracking: %+v", s)
+	}
+}
+
+func TestWearDistribution(t *testing.T) {
+	m := New(DefaultLayout())
+	m.EnableWearTracking()
+	var l [LineSize]byte
+	hot := m.Layout().NVMMBase
+	for i := 0; i < 10; i++ {
+		m.WriteLine(hot, &l)
+	}
+	for i := uint64(1); i <= 5; i++ {
+		m.WriteLine(hot+Addr(i)*LineSize, &l)
+	}
+	s := m.Wear()
+	if s.LinesWritten != 6 {
+		t.Fatalf("LinesWritten = %d, want 6", s.LinesWritten)
+	}
+	if s.TotalWrites != 15 {
+		t.Fatalf("TotalWrites = %d, want 15", s.TotalWrites)
+	}
+	if s.MaxWrites != 10 || s.MaxLine != hot {
+		t.Fatalf("hottest = %d @%#x, want 10 @%#x", s.MaxWrites, s.MaxLine, hot)
+	}
+	if s.MeanWrites != 2.5 {
+		t.Fatalf("MeanWrites = %g, want 2.5", s.MeanWrites)
+	}
+}
+
+func TestWearIgnoresDRAM(t *testing.T) {
+	m := New(DefaultLayout())
+	m.EnableWearTracking()
+	var l [LineSize]byte
+	m.WriteLine(0, &l) // DRAM
+	if s := m.Wear(); s.LinesWritten != 0 {
+		t.Fatalf("DRAM write tracked as NVMM wear: %+v", s)
+	}
+}

@@ -1,0 +1,131 @@
+package palloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bbb/internal/memory"
+)
+
+func arena() *Arena { return FromLayout(memory.DefaultLayout()) }
+
+func TestAllocAligned(t *testing.T) {
+	a := arena()
+	for _, sz := range []uint64{1, 7, 64, 65, 200} {
+		addr := a.Alloc(sz)
+		if addr%memory.LineSize != 0 {
+			t.Fatalf("Alloc(%d) = %#x, not line-aligned", sz, addr)
+		}
+	}
+}
+
+func TestAllocDistinctLines(t *testing.T) {
+	a := arena()
+	p := a.Alloc(8)
+	q := a.Alloc(8)
+	if memory.LineAddr(p) == memory.LineAddr(q) {
+		t.Fatal("two allocations share a cache line")
+	}
+}
+
+func TestFreeReuse(t *testing.T) {
+	a := arena()
+	p := a.Alloc(64)
+	a.Free(p)
+	q := a.Alloc(64)
+	if p != q {
+		t.Fatalf("freed chunk not reused: %#x vs %#x", p, q)
+	}
+	if a.Live() != 1 {
+		t.Fatalf("Live = %d, want 1", a.Live())
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	a := arena()
+	p := a.Alloc(64)
+	a.Free(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	a.Free(p)
+}
+
+func TestExhaustionPanics(t *testing.T) {
+	a := New(memory.DefaultLayout().PersistentBase, 128)
+	a.Alloc(64)
+	a.Alloc(64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("exhausted arena did not panic")
+		}
+	}()
+	a.Alloc(64)
+}
+
+func TestSubArenaDisjoint(t *testing.T) {
+	a := arena()
+	s1 := a.Sub(1 << 20)
+	s2 := a.Sub(1 << 20)
+	p1, p2 := s1.Alloc(64), s2.Alloc(64)
+	if p1 == p2 {
+		t.Fatal("sub-arenas overlap")
+	}
+	for i := 0; i < 100; i++ {
+		s1.Alloc(4096)
+	}
+}
+
+func TestAllocationsSorted(t *testing.T) {
+	a := arena()
+	for i := 0; i < 10; i++ {
+		a.Alloc(64)
+	}
+	got := a.Allocations()
+	if len(got) != 10 {
+		t.Fatalf("Allocations len = %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatal("Allocations not ascending")
+		}
+	}
+}
+
+// Property: live allocations never overlap.
+func TestPropertyNoOverlap(t *testing.T) {
+	f := func(ops []uint16) bool {
+		a := arena()
+		type chunk struct {
+			addr memory.Addr
+			size uint64
+		}
+		var live []chunk
+		for _, op := range ops {
+			if op%4 == 0 && len(live) > 0 {
+				i := int(op) % len(live)
+				a.Free(live[i].addr)
+				live = append(live[:i], live[i+1:]...)
+				continue
+			}
+			sz := uint64(op%300) + 1
+			addr := a.Alloc(sz)
+			live = append(live, chunk{addr, roundUp(sz)})
+		}
+		for i := range live {
+			for j := i + 1; j < len(live); j++ {
+				aLo, aHi := live[i].addr, live[i].addr+memory.Addr(live[i].size)
+				bLo, bHi := live[j].addr, live[j].addr+memory.Addr(live[j].size)
+				if aLo < bHi && bLo < aHi {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,181 @@
+package persistency
+
+import (
+	"testing"
+
+	"bbb/internal/bbpb"
+	"bbb/internal/coherence"
+	"bbb/internal/cpu"
+	"bbb/internal/engine"
+	"bbb/internal/memctrl"
+	"bbb/internal/memory"
+)
+
+func cpuDefault() cpu.Config { return cpu.DefaultConfig() }
+
+func coherenceDefault() coherence.Config {
+	cfg := coherence.DefaultConfig()
+	cfg.Cores = 1
+	return cfg
+}
+
+func emptyHierarchy(eng *engine.Engine, mem *memory.Memory, nvmm *memctrl.Controller, m *Model) *coherence.Hierarchy {
+	return coherence.New(coherenceDefault(), eng, mem.Layout(), nil, nvmm, m.Policy())
+}
+
+func newVPBParts(t *testing.T, capacity int, thresh float64) (*vpb, func(), *memory.Memory) {
+	t.Helper()
+	eng, mem, nvmm := newParts(t)
+	v := newVPB(0, capacity, thresh, eng, nvmm)
+	return v, func() { eng.Run() }, mem
+}
+
+func lineVal(b byte) [memory.LineSize]byte {
+	var d [memory.LineSize]byte
+	d[0] = b
+	return d
+}
+
+func TestVPBCoalesceWithinEpochOnly(t *testing.T) {
+	v, run, mem := newVPBParts(t, 8, 1.0)
+	a := mem.Layout().PersistentBase
+	d1, d2 := lineVal(1), lineVal(2)
+	if !v.put(a, &d1) {
+		t.Fatal("put rejected")
+	}
+	if !v.put(a, &d2) {
+		t.Fatal("same-epoch coalesce rejected")
+	}
+	if len(v.entries) != 1 {
+		t.Fatalf("entries = %d, want 1 (coalesced)", len(v.entries))
+	}
+	v.epochBarrier()
+	d3 := lineVal(3)
+	if !v.put(a, &d3) {
+		t.Fatal("cross-epoch put rejected")
+	}
+	if len(v.entries) != 2 {
+		t.Fatalf("entries = %d, want 2 (no cross-epoch coalescing)", len(v.entries))
+	}
+	run()
+}
+
+func TestVPBEpochOrderedDrain(t *testing.T) {
+	v, run, mem := newVPBParts(t, 8, 0.0) // drain everything eagerly
+	base := mem.Layout().PersistentBase
+	// Two epochs; all of epoch 0 must reach the image before epoch 1.
+	d := lineVal(10)
+	v.put(base, &d)
+	v.epochBarrier()
+	d2 := lineVal(20)
+	v.put(base+memory.LineSize, &d2)
+	run()
+	if len(v.entries) != 0 {
+		t.Fatalf("entries = %d, want 0 after eager drain", len(v.entries))
+	}
+	if v.counters().Get("vpb.drains") != 2 {
+		t.Fatalf("drains = %d", v.counters().Get("vpb.drains"))
+	}
+}
+
+func TestVPBDrainCandidateRespectsEpochs(t *testing.T) {
+	v, _, mem := newVPBParts(t, 8, 1.0)
+	base := mem.Layout().PersistentBase
+	d := lineVal(1)
+	v.put(base, &d)
+	v.epochBarrier()
+	v.put(base+memory.LineSize, &d)
+	// The candidate must be the epoch-0 entry.
+	i := v.drainCandidate()
+	if i != 0 || v.entries[i].epoch != 0 {
+		t.Fatalf("candidate = %d (epoch %d), want the epoch-0 entry", i, v.entries[i].epoch)
+	}
+	// With epoch 0 in flight, nothing else may start.
+	v.entries[0].draining = true
+	if v.drainCandidate() != -1 {
+		t.Fatal("epoch-1 entry offered while epoch 0 in flight")
+	}
+}
+
+func TestVPBDrainThrough(t *testing.T) {
+	v, run, mem := newVPBParts(t, 8, 1.0)
+	base := mem.Layout().PersistentBase
+	a0, a1, a2 := base, base+memory.LineSize, base+2*memory.LineSize
+	d := lineVal(1)
+	v.put(a0, &d)
+	v.epochBarrier()
+	v.put(a1, &d)
+	v.put(a2, &d)
+	v.drainThrough(a1) // must drain a0 (older epoch) then a1; a2 may stay
+	run()
+	if v.find(a0) >= 0 || v.find(a1) >= 0 {
+		t.Fatal("drainThrough left ordered-before entries behind")
+	}
+	if v.counters().Get("vpb.forced_drains") != 2 {
+		t.Fatalf("forced drains = %d, want 2", v.counters().Get("vpb.forced_drains"))
+	}
+}
+
+func TestVPBCrashLoss(t *testing.T) {
+	v, _, mem := newVPBParts(t, 8, 1.0)
+	d := lineVal(9)
+	v.put(mem.Layout().PersistentBase, &d)
+	if n := v.crashLoss(); n != 1 {
+		t.Fatalf("crashLoss = %d, want 1", n)
+	}
+	if len(v.entries) != 0 {
+		t.Fatal("entries remain after crash loss")
+	}
+}
+
+func TestBEPModelWiring(t *testing.T) {
+	eng, _, nvmm := newParts(t)
+	m := NewModel(BEP, 2, bbpb.DefaultConfig(), eng, nvmm)
+	if len(m.vpbs) != 2 || len(m.Buffers) != 0 {
+		t.Fatalf("BEP buffers: vpbs=%d bbpbs=%d", len(m.vpbs), len(m.Buffers))
+	}
+	tr := TraitsOf(BEP)
+	if !tr.EpochMode || tr.ExplicitPersist || tr.BatteryBackedSB {
+		t.Fatalf("BEP traits wrong: %+v", tr)
+	}
+	ccfg := m.CoreConfig(cpuDefault())
+	if !ccfg.EpochMode {
+		t.Fatal("CoreConfig did not enable epoch mode")
+	}
+}
+
+func TestNVCacheModelWiring(t *testing.T) {
+	eng, _, nvmm := newParts(t)
+	m := NewModel(NVCache, 2, bbpb.DefaultConfig(), eng, nvmm)
+	if len(m.vpbs) != 0 || len(m.Buffers) != 0 {
+		t.Fatal("NVCache should have no persist buffers")
+	}
+	base := coherenceDefault()
+	adj := m.AdjustHierarchy(base)
+	if adj.L1Lat <= base.L1Lat || adj.L2Lat <= base.L2Lat {
+		t.Fatal("NVCache must slow the cache write paths")
+	}
+	// Other schemes leave latencies alone.
+	m2 := NewModel(BBB, 2, bbpb.DefaultConfig(), eng, nvmm)
+	if got := m2.AdjustHierarchy(base); got != base {
+		t.Fatal("BBB must not adjust hierarchy latencies")
+	}
+}
+
+func TestBEPCrashLosesBufferedPersists(t *testing.T) {
+	eng, mem, nvmm := newParts(t)
+	m := NewModel(BEP, 1, bbpb.Config{Entries: 8, DrainThreshold: 1.0}, eng, nvmm)
+	a := mem.Layout().PersistentBase
+	var d [memory.LineSize]byte
+	d[0] = 7
+	m.policy.CommitStore(0, a, &d)
+	rep := m.CrashDrain(nil, emptyHierarchy(eng, mem, nvmm, m), nvmm, mem)
+	if rep.LostLines != 1 {
+		t.Fatalf("LostLines = %d, want 1", rep.LostLines)
+	}
+	var got [memory.LineSize]byte
+	mem.PeekLine(a, &got)
+	if got[0] == 7 {
+		t.Fatal("volatile buffer contents survived the crash")
+	}
+}

@@ -1,0 +1,92 @@
+package persistency
+
+import (
+	"bbb/internal/coherence"
+	"bbb/internal/cpu"
+	"bbb/internal/memctrl"
+	"bbb/internal/memory"
+)
+
+// DrainReport records what flush-on-fail moved to NVMM at a crash; it feeds
+// the energy model (bytes drained determines battery demand) and the
+// recovery checks.
+type DrainReport struct {
+	Scheme     Scheme
+	WPQLines   int
+	BufLines   int // bbPB entries (BBB modes)
+	CacheLines int // dirty persistent cache lines (eADR, NVCache)
+	SBStores   int // battery-backed store-buffer entries
+	// LostLines counts buffered persists discarded by a volatile persist
+	// buffer at the crash (BEP) — durability the battery would have saved.
+	LostLines int
+}
+
+// Lines returns the total number of cache-line-sized transfers the battery
+// had to pay for (store-buffer entries count as one line each, the paper's
+// worst case).
+func (r DrainReport) Lines() int {
+	return r.WPQLines + r.BufLines + r.CacheLines + r.SBStores
+}
+
+// Bytes returns the drained payload in bytes.
+func (r DrainReport) Bytes() int { return r.Lines() * memory.LineSize }
+
+// CrashDrain performs the scheme's flush-on-fail at the instant of a crash,
+// mutating the NVMM image exactly as the battery-powered drain would. The
+// simulation must already be stopped; no simulated time passes.
+//
+// Freshness ordering: the WPQ holds the oldest copies (earlier drains and
+// writebacks), bbPB entries and cache lines are fresher, and battery-backed
+// store-buffer entries are freshest, so stages apply in that order.
+func (m *Model) CrashDrain(cores []*cpu.Core, h *coherence.Hierarchy, nvmm *memctrl.Controller, mem *memory.Memory) DrainReport {
+	rep := DrainReport{Scheme: m.Scheme}
+	layout := mem.Layout()
+
+	// Stage 1: the WPQ is inside the persistence domain for every scheme
+	// (ADR baseline, footnote 1 of the paper).
+	rep.WPQLines = nvmm.CrashDrain()
+
+	// Stage 2: the scheme's own persistence domain above the controller.
+	switch m.Scheme {
+	case PMEM:
+		// Nothing: caches and store buffers are volatile.
+	case EADR, NVCache:
+		// eADR: flush-on-fail drains every dirty persistent line on
+		// battery. NVCache: the NVM cells retain the same lines without a
+		// battery; flushing them to the image models that retention.
+		h.ForEachDirtyLine(func(la memory.Addr, persistent bool, data *[memory.LineSize]byte) {
+			if !persistent {
+				return // DRAM-bound dirty lines are simply lost state
+			}
+			mem.WriteLine(la, data)
+			rep.CacheLines++
+		})
+	case BBB, BBBProc:
+		for _, b := range m.Buffers {
+			rep.BufLines += b.CrashDrain(func(la memory.Addr, data *[memory.LineSize]byte) {
+				mem.WriteLine(la, data)
+			})
+		}
+	case BEP:
+		// Traditional persist buffers are volatile: their contents are
+		// simply gone. Only the WPQ prefix survived.
+		for _, v := range m.vpbs {
+			rep.LostLines += v.crashLoss()
+		}
+	}
+
+	// Stage 3: battery-backed store buffers (§III-C) drain last — they hold
+	// the youngest committed stores. Each core's own flag is consulted so
+	// the SB-battery ablation behaves coherently.
+	for _, c := range cores {
+		if !c.BatteryBackedSB() {
+			continue
+		}
+		rep.SBStores += c.CrashDrainSB(
+			mem.PeekLine,
+			func(la memory.Addr, data *[memory.LineSize]byte) { mem.WriteLine(la, data) },
+			layout.Persistent,
+		)
+	}
+	return rep
+}

@@ -1,0 +1,344 @@
+// Package persistency defines the persistency schemes the paper compares
+// (Table I) and implements, for each, its coherence-policy hooks and its
+// flush-on-fail crash drain:
+//
+//   - PMEM: the Intel-style ADR baseline. Programs order persists with
+//     explicit clwb+sfence; the persistence domain is the NVMM controller's
+//     WPQ. Caches, store buffers and everything above are lost on a crash.
+//   - eADR: the whole SRAM cache hierarchy is battery backed. No persist
+//     instructions; on a crash every dirty line drains to NVMM.
+//   - BBB: the paper's contribution. A small battery-backed persist buffer
+//     (bbPB) per core is the point of persistency; no persist instructions;
+//     on a crash only the bbPBs (plus store buffers and WPQ) drain.
+//   - BBBProc: BBB with the processor-side buffer organization (§III-B),
+//     the paper's ~2.8x-more-writes comparison point.
+package persistency
+
+import (
+	"fmt"
+
+	"bbb/internal/bbpb"
+	"bbb/internal/coherence"
+	"bbb/internal/cpu"
+	"bbb/internal/engine"
+	"bbb/internal/memctrl"
+	"bbb/internal/memory"
+	"bbb/internal/stats"
+)
+
+// Scheme identifies a persistency scheme.
+type Scheme int
+
+// The schemes of Table I (BSP is discussed but not evaluated by the
+// paper), plus two comparison designs the paper discusses qualitatively:
+// BEP (traditional volatile persist buffers with epoch barriers, §III-A)
+// and NVCache (a non-volatile cache hierarchy, §II-B).
+const (
+	PMEM Scheme = iota
+	EADR
+	BBB
+	BBBProc
+	BEP
+	NVCache
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case PMEM:
+		return "pmem"
+	case EADR:
+		return "eadr"
+	case BBB:
+		return "bbb"
+	case BBBProc:
+		return "bbb-proc"
+	case BEP:
+		return "bep"
+	case NVCache:
+		return "nvcache"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// ParseScheme converts a CLI name into a Scheme.
+func ParseScheme(name string) (Scheme, error) {
+	switch name {
+	case "pmem":
+		return PMEM, nil
+	case "eadr":
+		return EADR, nil
+	case "bbb":
+		return BBB, nil
+	case "bbb-proc", "bbbproc":
+		return BBBProc, nil
+	case "bep":
+		return BEP, nil
+	case "nvcache":
+		return NVCache, nil
+	}
+	return 0, fmt.Errorf("persistency: unknown scheme %q (want pmem, eadr, bbb, bbb-proc, bep or nvcache)", name)
+}
+
+// Schemes lists every scheme, in Table I order with the two extra
+// comparison designs last.
+func Schemes() []Scheme { return []Scheme{PMEM, EADR, BBB, BBBProc, BEP, NVCache} }
+
+// Traits is the qualitative row of Table I for a scheme.
+type Traits struct {
+	Name            string
+	SWComplexity    string
+	PersistInsts    string
+	HWComplexity    string
+	StrictPenalty   string
+	BatteryNeeded   string
+	PoPLocation     string
+	ExplicitPersist bool // programs must issue clwb+fence
+	EpochMode       bool // programs mark epochs instead (BEP)
+	BatteryBackedSB bool // store buffer inside the persistence domain
+}
+
+// TraitsOf returns the Table I row for s.
+func TraitsOf(s Scheme) Traits {
+	switch s {
+	case PMEM:
+		return Traits{
+			Name: "PMEM", SWComplexity: "High", PersistInsts: "clwb & fence",
+			HWComplexity: "Low", StrictPenalty: "High", BatteryNeeded: "None (WPQ cap only)",
+			PoPLocation: "WPQ/mem", ExplicitPersist: true,
+		}
+	case EADR:
+		return Traits{
+			Name: "eADR", SWComplexity: "Low", PersistInsts: "None",
+			HWComplexity: "Low", StrictPenalty: "None", BatteryNeeded: "Large",
+			PoPLocation: "L1D", BatteryBackedSB: true,
+		}
+	case BBB:
+		return Traits{
+			Name: "BBB", SWComplexity: "Low", PersistInsts: "None",
+			HWComplexity: "Low", StrictPenalty: "Low", BatteryNeeded: "Small",
+			PoPLocation: "bbPB/L1D", BatteryBackedSB: true,
+		}
+	case BBBProc:
+		return Traits{
+			Name: "BBB (proc-side)", SWComplexity: "Low", PersistInsts: "None",
+			HWComplexity: "Low", StrictPenalty: "Low", BatteryNeeded: "Small",
+			PoPLocation: "bbPB/L1D", BatteryBackedSB: true,
+		}
+	case BEP:
+		return Traits{
+			Name: "BEP (volatile PB)", SWComplexity: "Medium", PersistInsts: "epoch barrier",
+			HWComplexity: "Medium", StrictPenalty: "Medium", BatteryNeeded: "None (WPQ cap only)",
+			PoPLocation: "WPQ/mem", EpochMode: true,
+		}
+	case NVCache:
+		return Traits{
+			Name: "NVCache", SWComplexity: "Low", PersistInsts: "None",
+			HWComplexity: "Medium", StrictPenalty: "None", BatteryNeeded: "None",
+			PoPLocation: "L1D (NVM cells)", BatteryBackedSB: true,
+		}
+	default:
+		panic("persistency: unknown scheme")
+	}
+}
+
+// Model binds a scheme to its runtime pieces for one simulation.
+type Model struct {
+	Scheme Scheme
+	// Buffers holds the per-core persist buffers (BBB modes only).
+	Buffers []bbpb.PersistBuffer
+	// vpbs holds the volatile epoch buffers (BEP only).
+	vpbs   []*vpb
+	policy coherence.PersistPolicy
+}
+
+// NewModel builds the scheme's policy and buffers. cores is the core count;
+// bufCfg sizes the persist buffers (ignored for PMEM/eADR/NVCache).
+func NewModel(s Scheme, cores int, bufCfg bbpb.Config, eng *engine.Engine, nvmm *memctrl.Controller) *Model {
+	m := &Model{Scheme: s}
+	switch s {
+	case PMEM, EADR, NVCache:
+		m.policy = coherence.NullPolicy{}
+	case BBB:
+		for i := 0; i < cores; i++ {
+			m.Buffers = append(m.Buffers, bbpb.New(bufCfg, i, eng, nvmm))
+		}
+		m.policy = &bbbPolicy{bufs: m.Buffers}
+	case BBBProc:
+		for i := 0; i < cores; i++ {
+			m.Buffers = append(m.Buffers, bbpb.NewProcSide(bufCfg, i, eng, nvmm))
+		}
+		m.policy = &bbbPolicy{bufs: m.Buffers}
+	case BEP:
+		for i := 0; i < cores; i++ {
+			m.vpbs = append(m.vpbs, newVPB(i, bufCfg.Entries, bufCfg.DrainThreshold, eng, nvmm))
+		}
+		m.policy = &bepPolicy{bufs: m.vpbs}
+	default:
+		panic("persistency: unknown scheme")
+	}
+	return m
+}
+
+// Policy returns the coherence hooks for the scheme.
+func (m *Model) Policy() coherence.PersistPolicy { return m.policy }
+
+// CoreConfig applies the scheme's programming model to a core config.
+func (m *Model) CoreConfig(cfg cpu.Config) cpu.Config {
+	tr := TraitsOf(m.Scheme)
+	cfg.ExplicitPersist = tr.ExplicitPersist
+	cfg.EpochMode = tr.EpochMode
+	cfg.BatteryBackedSB = tr.BatteryBackedSB
+	return cfg
+}
+
+// AdjustHierarchy applies scheme-specific hierarchy changes: NVCache swaps
+// the SRAM arrays for NVM cells, whose writes are slower (§II-B: STT-RAM
+// class latencies — the price of closing the PoV/PoP gap without a
+// battery).
+func (m *Model) AdjustHierarchy(cfg coherence.Config) coherence.Config {
+	if m.Scheme == NVCache {
+		cfg.L1Lat += 2  // NVM L1 write path
+		cfg.L2Lat += 11 // NVM L2 write path
+	}
+	return cfg
+}
+
+// bepPolicy wires the volatile epoch buffers into the hierarchy hooks.
+type bepPolicy struct {
+	bufs []*vpb
+}
+
+var (
+	_ coherence.PersistPolicy = (*bepPolicy)(nil)
+	_ coherence.EpochPolicy   = (*bepPolicy)(nil)
+)
+
+func (p *bepPolicy) CanAcceptStore(core int, addr memory.Addr) bool {
+	return p.bufs[core].canAccept(addr)
+}
+
+func (p *bepPolicy) OnSpace(core int, fn func()) {
+	p.bufs[core].waitSpace(fn)
+}
+
+func (p *bepPolicy) CommitStore(core int, addr memory.Addr, data *[memory.LineSize]byte) {
+	if !p.bufs[core].put(addr, data) {
+		panic(fmt.Sprintf("persistency: vpb[%d] rejected a reserved store for %#x", core, addr))
+	}
+}
+
+func (p *bepPolicy) OnRemoteInvalidate(victim int, addr memory.Addr) {
+	// Volatile buffers cannot migrate entries (the data would leave the
+	// persistence-ordering domain); drain the block and everything older
+	// instead — the delegation cost of traditional persist buffers.
+	p.bufs[victim].drainThrough(addr)
+}
+
+func (p *bepPolicy) OnLLCEvict(addr memory.Addr, persistent, dirty bool, done func(bool)) {
+	if !persistent {
+		done(dirty)
+		return
+	}
+	// A plain writeback would let cache-replacement order leapfrog
+	// buffered epochs (the unordered-persists hazard of §I). Real BEP
+	// hardware blocks or orders such writebacks; model that by draining
+	// the buffered block in epoch order and dropping the writeback. A
+	// block with no buffered entry was already drained with its final
+	// value, so it also drops.
+	for _, v := range p.bufs {
+		if v.find(addr) >= 0 {
+			v.drainThrough(addr)
+			break
+		}
+	}
+	done(false)
+}
+
+func (p *bepPolicy) OnEpochBarrier(core int) {
+	p.bufs[core].epochBarrier()
+}
+
+// bbbPolicy wires the per-core persist buffers into the hierarchy's hooks.
+type bbbPolicy struct {
+	bufs []bbpb.PersistBuffer
+}
+
+var _ coherence.PersistPolicy = (*bbbPolicy)(nil)
+
+func (p *bbbPolicy) CanAcceptStore(core int, addr memory.Addr) bool {
+	return p.bufs[core].CanAccept(addr)
+}
+
+func (p *bbbPolicy) OnSpace(core int, fn func()) {
+	p.bufs[core].WaitSpace(fn)
+}
+
+func (p *bbbPolicy) CommitStore(core int, addr memory.Addr, data *[memory.LineSize]byte) {
+	if !p.bufs[core].Put(addr, data) {
+		// CanAcceptStore reserved the slot and only the core's own stores
+		// grow its buffer, so this cannot happen.
+		panic(fmt.Sprintf("persistency: bbPB[%d] rejected a reserved store for %#x", core, addr))
+	}
+}
+
+func (p *bbbPolicy) OnRemoteInvalidate(victim int, addr memory.Addr) {
+	// The entry migrates: the writer's CommitStore re-allocates it with the
+	// merged, freshest data in the same transaction (Fig. 6 a/b). No drain,
+	// no NVMM write.
+	p.bufs[victim].Remove(addr)
+}
+
+func (p *bbbPolicy) OnLLCEvict(addr memory.Addr, persistent, dirty bool, done func(bool)) {
+	if !persistent {
+		done(dirty)
+		return
+	}
+	// Dirty inclusion (§III-B): force-drain the owning bbPB, then drop the
+	// LLC victim without a writeback — the drain (or an earlier one)
+	// already carries the freshest data to NVMM.
+	for c := range p.bufs {
+		if p.bufs[c].Has(addr) {
+			p.bufs[c].ForceDrain(addr, func() { done(false) })
+			return
+		}
+	}
+	done(false)
+}
+
+// Rejections sums persist-buffer rejections across cores (Fig. 8a).
+func (m *Model) Rejections() uint64 {
+	var n uint64
+	for _, b := range m.Buffers {
+		n += b.Counters().Get("bbpb.rejections")
+	}
+	for _, v := range m.vpbs {
+		n += v.counters().Get("vpb.rejections")
+	}
+	return n
+}
+
+// Drains sums persist-buffer-to-NVMM drains across cores (Fig. 8c).
+func (m *Model) Drains() uint64 {
+	var n uint64
+	for _, b := range m.Buffers {
+		n += b.Counters().Get("bbpb.drains")
+	}
+	for _, v := range m.vpbs {
+		n += v.counters().Get("vpb.drains")
+	}
+	return n
+}
+
+// BufferCounters returns every persist buffer's counter set (both
+// organizations and the BEP volatile buffers), for stats aggregation.
+func (m *Model) BufferCounters() []*stats.Counters {
+	var out []*stats.Counters
+	for _, b := range m.Buffers {
+		out = append(out, b.Counters())
+	}
+	for _, v := range m.vpbs {
+		out = append(out, v.counters())
+	}
+	return out
+}

@@ -1,0 +1,229 @@
+package persistency
+
+import (
+	"testing"
+
+	"bbb/internal/bbpb"
+	"bbb/internal/coherence"
+	"bbb/internal/cpu"
+	"bbb/internal/engine"
+	"bbb/internal/memctrl"
+	"bbb/internal/memory"
+)
+
+func TestSchemeStringRoundTrip(t *testing.T) {
+	for _, s := range Schemes() {
+		got, err := ParseScheme(s.String())
+		if err != nil {
+			t.Fatalf("ParseScheme(%q): %v", s.String(), err)
+		}
+		if got != s {
+			t.Fatalf("round trip %v -> %v", s, got)
+		}
+	}
+	if _, err := ParseScheme("bsp"); err == nil {
+		t.Fatal("unsupported scheme should error")
+	}
+}
+
+func TestTraitsTableI(t *testing.T) {
+	if !TraitsOf(PMEM).ExplicitPersist {
+		t.Fatal("PMEM must require explicit persists")
+	}
+	for _, s := range []Scheme{EADR, BBB, BBBProc} {
+		tr := TraitsOf(s)
+		if tr.ExplicitPersist {
+			t.Fatalf("%v must not require persist instructions", s)
+		}
+		if !tr.BatteryBackedSB {
+			t.Fatalf("%v must battery-back the store buffer (Fig. 4)", s)
+		}
+	}
+	if TraitsOf(PMEM).BatteryBackedSB {
+		t.Fatal("PMEM must not battery-back the store buffer")
+	}
+}
+
+func newParts(t *testing.T) (*engine.Engine, *memory.Memory, *memctrl.Controller) {
+	t.Helper()
+	eng := engine.New()
+	mem := memory.New(memory.DefaultLayout())
+	nvmm := memctrl.New(memctrl.DefaultNVMM(), eng, mem)
+	return eng, mem, nvmm
+}
+
+func TestNewModelBuffers(t *testing.T) {
+	eng, _, nvmm := newParts(t)
+	for _, s := range Schemes() {
+		m := NewModel(s, 4, bbpb.DefaultConfig(), eng, nvmm)
+		switch s {
+		case PMEM, EADR:
+			if len(m.Buffers) != 0 {
+				t.Fatalf("%v should have no buffers", s)
+			}
+			if _, ok := m.Policy().(coherence.NullPolicy); !ok {
+				t.Fatalf("%v should use NullPolicy", s)
+			}
+		case BBB, BBBProc:
+			if len(m.Buffers) != 4 {
+				t.Fatalf("%v buffers = %d, want 4", s, len(m.Buffers))
+			}
+		}
+	}
+}
+
+func TestBBBPolicyReservation(t *testing.T) {
+	eng, mem, nvmm := newParts(t)
+	cfg := bbpb.Config{Entries: 2, DrainThreshold: 1.0}
+	m := NewModel(BBB, 2, cfg, eng, nvmm)
+	pol := m.Policy()
+	base := mem.Layout().PersistentBase
+	var line [memory.LineSize]byte
+
+	for i := 0; i < 2; i++ {
+		a := base + memory.Addr(i)*memory.LineSize
+		if !pol.CanAcceptStore(0, a) {
+			t.Fatalf("store %d refused early", i)
+		}
+		pol.CommitStore(0, a, &line)
+	}
+	// Full: a new block is refused, a resident block coalesces.
+	if pol.CanAcceptStore(0, base+10*memory.LineSize) {
+		t.Fatal("full buffer accepted a new block")
+	}
+	if !pol.CanAcceptStore(0, base) {
+		t.Fatal("resident block refused while full")
+	}
+	// The other core's buffer is independent.
+	if !pol.CanAcceptStore(1, base+10*memory.LineSize) {
+		t.Fatal("core 1's empty buffer refused a store")
+	}
+	woken := false
+	pol.OnSpace(0, func() { woken = true })
+	m.Buffers[0].Remove(base)
+	eng.Run()
+	if !woken {
+		t.Fatal("OnSpace not fired after Remove")
+	}
+}
+
+func TestBBBPolicyMigration(t *testing.T) {
+	eng, mem, nvmm := newParts(t)
+	m := NewModel(BBB, 2, bbpb.DefaultConfig(), eng, nvmm)
+	pol := m.Policy()
+	a := mem.Layout().PersistentBase
+	var line [memory.LineSize]byte
+	line[0] = 7
+	pol.CommitStore(0, a, &line)
+	if !m.Buffers[0].Has(a) {
+		t.Fatal("entry not in core 0's buffer")
+	}
+	// Core 1 writes the block: invalidation migrates the entry.
+	pol.OnRemoteInvalidate(0, a)
+	if m.Buffers[0].Has(a) {
+		t.Fatal("entry still in core 0's buffer after migration")
+	}
+	line[0] = 9
+	pol.CommitStore(1, a, &line)
+	if !m.Buffers[1].Has(a) {
+		t.Fatal("entry not installed in core 1's buffer")
+	}
+	// Migration must not have produced NVMM traffic.
+	if nvmm.Stats.Get("nvmm.writes") != 0 {
+		t.Fatal("migration wrote NVMM")
+	}
+}
+
+func TestBBBPolicyLLCEvict(t *testing.T) {
+	eng, mem, nvmm := newParts(t)
+	m := NewModel(BBB, 1, bbpb.DefaultConfig(), eng, nvmm)
+	pol := m.Policy()
+	a := mem.Layout().PersistentBase
+	var line [memory.LineSize]byte
+	line[0] = 5
+	pol.CommitStore(0, a, &line)
+
+	// Dirty persistent victim with a live bbPB entry: forced drain, no
+	// writeback.
+	var wb *bool
+	pol.OnLLCEvict(a, true, true, func(writeBack bool) { wb = &writeBack })
+	eng.Run()
+	if wb == nil {
+		t.Fatal("evict decision never delivered")
+	}
+	if *wb {
+		t.Fatal("persistent victim was written back (should be dropped)")
+	}
+	if m.Buffers[0].Has(a) {
+		t.Fatal("entry not drained by eviction")
+	}
+	if nvmm.Stats.Get("nvmm.writes") != 1 {
+		t.Fatalf("forced drain wrote %d times, want 1", nvmm.Stats.Get("nvmm.writes"))
+	}
+
+	// Dirty persistent victim with NO bbPB entry: silent drop.
+	wb = nil
+	pol.OnLLCEvict(a, true, true, func(writeBack bool) { wb = &writeBack })
+	eng.Run()
+	if wb == nil || *wb {
+		t.Fatal("already-drained persistent victim should drop silently")
+	}
+
+	// Dirty non-persistent victim: normal writeback.
+	wb = nil
+	pol.OnLLCEvict(0x1000, false, true, func(writeBack bool) { wb = &writeBack })
+	eng.Run()
+	if wb == nil || !*wb {
+		t.Fatal("non-persistent dirty victim must write back")
+	}
+}
+
+func TestCrashDrainFreshnessOrder(t *testing.T) {
+	// A line with an old value in the WPQ and a new value in the bbPB must
+	// end up with the bbPB value after CrashDrain.
+	eng, mem, nvmm := newParts(t)
+	m := NewModel(BBB, 1, bbpb.DefaultConfig(), eng, nvmm)
+	a := mem.Layout().PersistentBase
+	var oldLine, newLine [memory.LineSize]byte
+	oldLine[0], newLine[0] = 1, 2
+	nvmm.Write(a, oldLine, nil) // stale copy sitting in the WPQ
+	if !m.Buffers[0].Put(a, &newLine) {
+		t.Fatal("Put failed")
+	}
+	hcfg := coherence.DefaultConfig()
+	hcfg.Cores = 1
+	h := coherence.New(hcfg, eng, mem.Layout(), nil, nvmm, m.Policy())
+	core := cpu.New(0, cpu.DefaultConfig(), eng, h)
+	rep := m.CrashDrain([]*cpu.Core{core}, h, nvmm, mem)
+	if rep.WPQLines != 1 || rep.BufLines != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	var got [memory.LineSize]byte
+	mem.PeekLine(a, &got)
+	if got[0] != 2 {
+		t.Fatalf("image holds %d, want the fresher bbPB value 2", got[0])
+	}
+}
+
+func TestCrashDrainPMEMDropsVolatileState(t *testing.T) {
+	eng, mem, nvmm := newParts(t)
+	m := NewModel(PMEM, 1, bbpb.DefaultConfig(), eng, nvmm)
+	hcfg := coherence.DefaultConfig()
+	hcfg.Cores = 1
+	h := coherence.New(hcfg, eng, mem.Layout(), nil, nvmm, m.Policy())
+	core := cpu.New(0, cpu.DefaultConfig(), eng, h)
+	rep := m.CrashDrain([]*cpu.Core{core}, h, nvmm, mem)
+	if rep.CacheLines != 0 || rep.BufLines != 0 || rep.SBStores != 0 {
+		t.Fatalf("PMEM drained volatile state: %+v", rep)
+	}
+}
+
+func TestDrainReportArithmetic(t *testing.T) {
+	r := DrainReport{WPQLines: 2, BufLines: 3, CacheLines: 4, SBStores: 1}
+	if r.Lines() != 10 {
+		t.Fatalf("Lines = %d", r.Lines())
+	}
+	if r.Bytes() != 640 {
+		t.Fatalf("Bytes = %d", r.Bytes())
+	}
+}

@@ -1,0 +1,128 @@
+package recovery
+
+import (
+	"testing"
+
+	"bbb/internal/persistency"
+	"bbb/internal/system"
+	"bbb/internal/workload"
+)
+
+func campaignConfig(w workload.Workload, s persistency.Scheme, noBarriers bool) CampaignConfig {
+	cfg := system.DefaultConfig(s)
+	cfg.Hierarchy.L1Size = 1024
+	cfg.Hierarchy.L2Size = 4096 // tiny caches reorder persists aggressively
+	p := workload.DefaultParams()
+	p.Threads = 4
+	p.OpsPerThread = 300
+	p.NoBarriers = noBarriers
+	return CampaignConfig{
+		Workload:   w,
+		Scheme:     s,
+		System:     cfg,
+		Params:     p,
+		FirstCrash: 5_000,
+		Step:       7_000,
+		Points:     12,
+	}
+}
+
+func TestBBBNoBarriersAlwaysConsistent(t *testing.T) {
+	rep := campaignConfig(workload.NewLinkedList(), persistency.BBB, true).Run()
+	if rep.Inconsistent != 0 {
+		o, _ := rep.FirstFailure()
+		t.Fatalf("BBB without barriers inconsistent at cycle %d: %v", o.CrashCycle, o.Err)
+	}
+}
+
+func TestEADRNoBarriersAlwaysConsistent(t *testing.T) {
+	rep := campaignConfig(workload.NewLinkedList(), persistency.EADR, true).Run()
+	if rep.Inconsistent != 0 {
+		o, _ := rep.FirstFailure()
+		t.Fatalf("eADR without barriers inconsistent at cycle %d: %v", o.CrashCycle, o.Err)
+	}
+}
+
+func TestPMEMWithBarriersAlwaysConsistent(t *testing.T) {
+	rep := campaignConfig(workload.NewLinkedList(), persistency.PMEM, false).Run()
+	if rep.Inconsistent != 0 {
+		o, _ := rep.FirstFailure()
+		t.Fatalf("PMEM with barriers (Figure 3) inconsistent at cycle %d: %v", o.CrashCycle, o.Err)
+	}
+}
+
+func TestPMEMNoBarriersInconsistent(t *testing.T) {
+	rep := campaignConfig(workload.NewLinkedList(), persistency.PMEM, true).Run()
+	if rep.Inconsistent == 0 {
+		t.Fatal("PMEM without barriers (Figure 2) survived all crash points; the bug should reproduce")
+	}
+	t.Log(rep.String())
+}
+
+func TestBEPWithEpochBarriersConsistent(t *testing.T) {
+	// Buffered epoch persistency with the Figure 3 barriers (as epoch
+	// markers): every crash leaves an epoch prefix, which keeps the list
+	// walkable.
+	rep := campaignConfig(workload.NewLinkedList(), persistency.BEP, false).Run()
+	if rep.Inconsistent != 0 {
+		o, _ := rep.FirstFailure()
+		t.Fatalf("BEP with barriers inconsistent at cycle %d: %v", o.CrashCycle, o.Err)
+	}
+}
+
+func TestBEPNoBarriersEventuallyInconsistent(t *testing.T) {
+	// Without epoch markers everything shares one epoch, so same-epoch
+	// coalescing lets a later head update persist with an earlier drain
+	// slot — the same reordering hazard as Figure 2.
+	cc := campaignConfig(workload.NewLinkedList(), persistency.BEP, true)
+	cc.Points = 20
+	rep := cc.Run()
+	if rep.Inconsistent == 0 {
+		t.Log("note: BEP without barriers survived this sweep; coalescing reordering is probabilistic")
+	} else {
+		t.Log(rep.String())
+	}
+}
+
+func TestNVCacheNoBarriersConsistent(t *testing.T) {
+	// NVCache closes the PoV/PoP gap with NVM cells, so barrier-free code
+	// recovers, like BBB/eADR.
+	rep := campaignConfig(workload.NewLinkedList(), persistency.NVCache, true).Run()
+	if rep.Inconsistent != 0 {
+		o, _ := rep.FirstFailure()
+		t.Fatalf("NVCache inconsistent at cycle %d: %v", o.CrashCycle, o.Err)
+	}
+}
+
+func TestBBBProcSideAlsoConsistent(t *testing.T) {
+	rep := campaignConfig(workload.NewHashmap(), persistency.BBBProc, true).Run()
+	if rep.Inconsistent != 0 {
+		o, _ := rep.FirstFailure()
+		t.Fatalf("BBB proc-side inconsistent at cycle %d: %v", o.CrashCycle, o.Err)
+	}
+}
+
+func TestDrainBudgetBBBBounded(t *testing.T) {
+	// The battery budget: bbPB entries + WPQ + store buffers. With 4 cores,
+	// 32-entry bbPBs, a 32-entry WPQ and 32-entry SBs the drain can never
+	// exceed 4*32 + 32 + 32 + 4*32 lines (WPQ waiters included).
+	cc := campaignConfig(workload.NewHashmap(), persistency.BBB, true)
+	rep := cc.Run()
+	limit := 4*32 + 32 + 32 + 4*32
+	if rep.DrainedLinesMax > limit {
+		t.Fatalf("BBB drained %d lines, exceeding the battery budget %d", rep.DrainedLinesMax, limit)
+	}
+	if rep.DrainedLinesMax == 0 {
+		t.Fatal("no crash point drained anything")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := campaignConfig(workload.NewLinkedList(), persistency.BBB, true).Run()
+	if rep.String() == "" {
+		t.Fatal("empty report string")
+	}
+	if _, failed := rep.FirstFailure(); failed {
+		t.Fatal("unexpected failure present")
+	}
+}

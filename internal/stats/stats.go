@@ -1,0 +1,159 @@
+// Package stats provides the lightweight counters and summary helpers used
+// by the simulator and by the benchmark harness.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counters is a named set of monotonically increasing counters.
+type Counters struct {
+	m     map[string]uint64
+	order []string
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{m: make(map[string]uint64)}
+}
+
+// Add increments counter name by n, creating it if needed.
+func (c *Counters) Add(name string, n uint64) {
+	if _, ok := c.m[name]; !ok {
+		c.order = append(c.order, name)
+	}
+	c.m[name] += n
+}
+
+// Inc increments counter name by one.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Get returns the value of counter name (zero if never touched).
+func (c *Counters) Get(name string) uint64 { return c.m[name] }
+
+// Names returns counter names in first-touch order.
+func (c *Counters) Names() []string { return append([]string(nil), c.order...) }
+
+// Merge adds every counter from other into c.
+func (c *Counters) Merge(other *Counters) {
+	for _, n := range other.order {
+		c.Add(n, other.m[n])
+	}
+}
+
+// String renders the counters, one per line, for logs and CLIs.
+func (c *Counters) String() string {
+	var b strings.Builder
+	names := c.Names()
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-32s %12d\n", n, c.m[n])
+	}
+	return b.String()
+}
+
+// Geomean returns the geometric mean of xs. It panics on an empty slice and
+// on non-positive values, which would indicate a broken normalization.
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Geomean of empty slice")
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: Geomean of non-positive value %g", x))
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Max returns the maximum of xs (0 for an empty slice).
+func Max(xs []float64) float64 {
+	m := 0.0
+	for i, x := range xs {
+		if i == 0 || x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Ratio returns a/b, guarding against divide-by-zero: if b is 0 it returns
+// 0 when a is also 0 and +Inf otherwise.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return a / b
+}
+
+// Distribution accumulates scalar samples and reports simple summary
+// statistics. It keeps running moments, not the samples themselves.
+type Distribution struct {
+	n        uint64
+	sum      float64
+	sumSq    float64
+	min, max float64
+}
+
+// Observe adds one sample.
+func (d *Distribution) Observe(x float64) {
+	if d.n == 0 || x < d.min {
+		d.min = x
+	}
+	if d.n == 0 || x > d.max {
+		d.max = x
+	}
+	d.n++
+	d.sum += x
+	d.sumSq += x * x
+}
+
+// Count returns the number of samples.
+func (d *Distribution) Count() uint64 { return d.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (d *Distribution) Mean() float64 {
+	if d.n == 0 {
+		return 0
+	}
+	return d.sum / float64(d.n)
+}
+
+// Min returns the smallest sample (0 with no samples).
+func (d *Distribution) Min() float64 { return d.min }
+
+// Max returns the largest sample (0 with no samples).
+func (d *Distribution) Max() float64 { return d.max }
+
+// StdDev returns the population standard deviation.
+func (d *Distribution) StdDev() float64 {
+	if d.n == 0 {
+		return 0
+	}
+	m := d.Mean()
+	v := d.sumSq/float64(d.n) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}

@@ -1,0 +1,64 @@
+package system
+
+import (
+	"testing"
+
+	"bbb/internal/persistency"
+)
+
+// Store prefetching must never weaken the durability guarantee: the
+// PoP=PoV property holds with it on, for every gap-closing scheme.
+func TestPrefetchPreservesDurability(t *testing.T) {
+	for _, s := range []persistency.Scheme{persistency.BBB, persistency.EADR} {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			for _, crashAt := range []uint64{4_000, 25_000, 90_000} {
+				cfg := smallConfig(s)
+				cfg.Core.StorePrefetch = true
+				sys := New(cfg)
+				logs := make([]*storeLog, cfg.Cores)
+				progs := durabilityPrograms(sys, logs, 31)
+				sys.RunUntil(crashAt, progs)
+				sys.Crash()
+				for i, lg := range logs {
+					for a, want := range lg.last {
+						b := sys.Mem.Peek(a, 8)
+						var got uint64
+						for j := 7; j >= 0; j-- {
+							got = got<<8 | uint64(b[j])
+						}
+						if got>>8 < want>>8 {
+							t.Fatalf("crash@%d core %d line %#x: durable seq %d < observed %d",
+								crashAt, i, a, got>>8, want>>8)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// Prefetching changes timing, never results: the same workload must leave
+// identical architectural state and identical NVMM-write-count ordering
+// relationships intact.
+func TestPrefetchFunctionallyTransparent(t *testing.T) {
+	run := func(prefetch bool) Result {
+		cfg := smallConfig(persistency.BBB)
+		cfg.Core.StorePrefetch = prefetch
+		sys := New(cfg)
+		res := sys.Run(mixedPrograms(sys, 150, 60))
+		if err := sys.Hier.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	off := run(false)
+	on := run(true)
+	if off.PersistingStores != on.PersistingStores || off.Stores != on.Stores {
+		t.Fatalf("prefetching changed the executed store mix: %d/%d vs %d/%d",
+			off.PersistingStores, off.Stores, on.PersistingStores, on.Stores)
+	}
+	if on.Cycles > off.Cycles {
+		t.Logf("note: prefetching slower here (%d vs %d) — contention-bound workload", on.Cycles, off.Cycles)
+	}
+}

@@ -1,0 +1,91 @@
+package system
+
+import (
+	"math/rand"
+	"testing"
+
+	"bbb/internal/cpu"
+	"bbb/internal/memory"
+	"bbb/internal/persistency"
+)
+
+// Whole-system randomized property: under EVERY scheme, a random mix of
+// loads, stores and CAS across cores (a) matches a sequential reference
+// model for values each core observes on its private lines, (b) leaves the
+// coherence invariants intact, and (c) for the PoP=PoV schemes leaves the
+// durable image equal to the last observed value of every private line
+// after a crash drain.
+func TestRandomizedAllSchemes(t *testing.T) {
+	for _, s := range persistency.Schemes() {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			cfg := smallConfig(s)
+			cfg.BBPB.Entries = 8
+			sys := New(cfg)
+			base := cfg.Layout.PersistentBase
+			type obs struct{ last map[memory.Addr]uint64 }
+			observed := make([]obs, cfg.Cores)
+			progs := make([]Program, cfg.Cores)
+			for i := range progs {
+				i := i
+				observed[i] = obs{last: map[memory.Addr]uint64{}}
+				progs[i] = func(e cpu.Env) {
+					r := rand.New(rand.NewSource(int64(1000 + i)))
+					// Private lines per core plus one shared line.
+					shared := base
+					for op := 0; op < 800; op++ {
+						priv := base + memory.Addr(uint64(1+i*20+(r.Intn(16))))*memory.LineSize
+						switch r.Intn(4) {
+						case 0:
+							got := cpu.Load64(e, priv)
+							want := observed[i].last[priv]
+							if got != want {
+								t.Errorf("core %d read %d from %#x, expected %d", i, got, priv, want)
+								return
+							}
+						case 1:
+							v := r.Uint64() >> 8 // leave tag space
+							cpu.Store64(e, priv, v)
+							observed[i].last[priv] = v
+						case 2:
+							cur := cpu.Load64(e, priv)
+							if _, ok := e.CompareAndSwap(priv, 8, cur, cur+1); ok {
+								observed[i].last[priv] = cur + 1
+							}
+						case 3:
+							cpu.Store64(e, shared, r.Uint64()) // cross-core churn
+						}
+					}
+				}
+			}
+			sys.RunUntil(3_000_000, progs)
+			for i, c := range sys.Cores {
+				if !c.Done() {
+					t.Fatalf("core %d did not finish", i)
+				}
+			}
+			if err := sys.Hier.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			rep := sys.Crash()
+			_ = rep
+			popEqualsPov := s == persistency.BBB || s == persistency.BBBProc ||
+				s == persistency.EADR || s == persistency.NVCache
+			if !popEqualsPov {
+				return
+			}
+			for i := range observed {
+				for a, want := range observed[i].last {
+					b := sys.Mem.Peek(a, 8)
+					var got uint64
+					for j := 7; j >= 0; j-- {
+						got = got<<8 | uint64(b[j])
+					}
+					if got != want {
+						t.Fatalf("%v: core %d line %#x durable %d != observed %d", s, i, a, got, want)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,99 @@
+package system
+
+import (
+	"testing"
+
+	"bbb/internal/persistency"
+)
+
+// The two extension schemes (BEP with volatile persist buffers, NVCache
+// with NVM cache cells) run the same programs with the expected cost and
+// durability trade-offs.
+
+func TestBEPRunsAndDrainsInEpochs(t *testing.T) {
+	cfg := smallConfig(persistency.BEP)
+	cfg.BBPB.Entries = 32
+	sys := New(cfg)
+	res := sys.Run(mixedPrograms(sys, 200, 60))
+	if res.Counters.Get("core.epoch_barriers") == 0 {
+		t.Fatal("PersistBarrier did not become epoch barriers under BEP")
+	}
+	if res.Counters.Get("vpb.drains") == 0 {
+		t.Fatal("no volatile-buffer drains")
+	}
+	if res.Counters.Get("core.clwbs") != 0 {
+		t.Fatal("BEP must not issue clwb")
+	}
+	if err := sys.Hier.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBEPCrashLosesBufferedEpochs(t *testing.T) {
+	cfg := smallConfig(persistency.BEP)
+	cfg.BBPB.DrainThreshold = 1.0 // hold everything buffered
+	sys := New(cfg)
+	progs := mixedPrograms(sys, 400, 60)
+	sys.RunUntil(30_000, progs)
+	rep := sys.Crash()
+	if rep.LostLines == 0 {
+		t.Fatal("volatile persist buffers lost nothing at the crash")
+	}
+	if rep.BufLines != 0 || rep.CacheLines != 0 {
+		t.Fatalf("BEP drained battery-backed state: %+v", rep)
+	}
+}
+
+func TestNVCacheKeepsDataWithoutBattery(t *testing.T) {
+	cfg := smallConfig(persistency.NVCache)
+	sys := New(cfg)
+	progs := mixedPrograms(sys, 300, 60)
+	sys.RunUntil(50_000, progs)
+	rep := sys.Crash()
+	// The cells retain dirty lines with no battery; the report groups them
+	// with cache lines.
+	if rep.CacheLines == 0 {
+		t.Fatal("NVCache retained no cache lines")
+	}
+	if rep.BufLines != 0 || rep.LostLines != 0 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+}
+
+func TestNVCacheSlowerThanEADR(t *testing.T) {
+	// Same machine, same programs: the NVM write latencies must cost time.
+	var eadr, nvc uint64
+	for _, s := range []persistency.Scheme{persistency.EADR, persistency.NVCache} {
+		cfg := smallConfig(s)
+		sys := New(cfg)
+		res := sys.Run(mixedPrograms(sys, 200, 60))
+		if s == persistency.EADR {
+			eadr = res.Cycles
+		} else {
+			nvc = res.Cycles
+		}
+	}
+	if nvc <= eadr {
+		t.Fatalf("NVCache (%d cycles) not slower than eADR (%d)", nvc, eadr)
+	}
+}
+
+func TestBEPMoreNVMMWritesThanBBB(t *testing.T) {
+	// Cross-epoch coalescing is forbidden for BEP, so with per-operation
+	// barriers it must write NVMM at least as much as BBB.
+	var bbb, bep uint64
+	for _, s := range []persistency.Scheme{persistency.BBB, persistency.BEP} {
+		cfg := smallConfig(s)
+		cfg.BBPB.Entries = 32
+		sys := New(cfg)
+		res := sys.Run(mixedPrograms(sys, 300, 60))
+		if s == persistency.BBB {
+			bbb = res.NVMMWrites
+		} else {
+			bep = res.NVMMWrites
+		}
+	}
+	if bep < bbb {
+		t.Fatalf("BEP wrote less (%d) than BBB (%d) despite epoch-limited coalescing", bep, bbb)
+	}
+}

@@ -1,0 +1,71 @@
+package system
+
+import (
+	"strings"
+	"testing"
+
+	"bbb/internal/persistency"
+	"bbb/internal/trace"
+)
+
+func TestTracingCapturesBBBLifecycle(t *testing.T) {
+	cfg := smallConfig(persistency.BBB)
+	cfg.TraceCapacity = 1 << 16
+	sys := New(cfg)
+	sys.Run(mixedPrograms(sys, 150, 80)) // 4x82 lines > the 256-line L2
+	rec := sys.Trace()
+	if rec == nil {
+		t.Fatal("tracing not enabled")
+	}
+	counts := rec.CountByKind()
+	for _, k := range []trace.Kind{
+		trace.KindStoreCommit, trace.KindBufAlloc, trace.KindBufCoalesce,
+		trace.KindBufDrain, trace.KindWPQInsert, trace.KindLLCEvict,
+	} {
+		if counts[k] == 0 {
+			t.Errorf("no %v events traced", k)
+		}
+	}
+	// Sanity: traced drains agree with the drain counter.
+	if rec.Emitted == 0 {
+		t.Fatal("nothing emitted")
+	}
+	var b strings.Builder
+	rec.Dump(&b)
+	if !strings.Contains(b.String(), "pb-drain") {
+		t.Fatal("dump missing drain events")
+	}
+}
+
+func TestTracingOffByDefault(t *testing.T) {
+	sys := New(smallConfig(persistency.BBB))
+	sys.Run(counterPrograms(sys, 50))
+	if sys.Trace() != nil {
+		t.Fatal("tracing should be off by default")
+	}
+}
+
+func TestTracingPMEMShowsClwbFence(t *testing.T) {
+	cfg := smallConfig(persistency.PMEM)
+	cfg.TraceCapacity = 1 << 14
+	sys := New(cfg)
+	sys.Run(mixedPrograms(sys, 50, 30))
+	counts := sys.Trace().CountByKind()
+	if counts[trace.KindClwb] == 0 || counts[trace.KindFence] == 0 {
+		t.Fatalf("PMEM trace missing persist instructions: %v", counts)
+	}
+	if counts[trace.KindBufAlloc] != 0 {
+		t.Fatal("PMEM traced persist-buffer events")
+	}
+}
+
+func TestTracingBEPShowsEpochs(t *testing.T) {
+	cfg := smallConfig(persistency.BEP)
+	cfg.TraceCapacity = 1 << 14
+	sys := New(cfg)
+	sys.Run(mixedPrograms(sys, 50, 30))
+	counts := sys.Trace().CountByKind()
+	if counts[trace.KindEpochMark] == 0 {
+		t.Fatalf("BEP trace missing epoch marks: %v", counts)
+	}
+}

@@ -1,0 +1,172 @@
+// Package trace provides a lightweight ring-buffer event recorder for the
+// simulator. When enabled, components emit one fixed-size record per
+// interesting microarchitectural event (persisting-store commits, bbPB
+// allocations/coalesces/drains/migrations, coherence invalidations, WPQ
+// traffic, epoch marks, crash drains), and tools can dump the tail of the
+// run — the kind of observability a user debugging a persistency bug needs.
+package trace
+
+import (
+	"fmt"
+	"io"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+// Event kinds, grouped by component.
+const (
+	KindNone Kind = iota
+	// Core events.
+	KindStoreCommit // a persisting store wrote the L1D (Aux = value low bits)
+	KindClwb
+	KindFence
+	KindEpochMark
+	KindAtomic
+	// Persist-buffer events.
+	KindBufAlloc
+	KindBufCoalesce
+	KindBufDrain
+	KindBufForcedDrain
+	KindBufMigrate // Aux = destination core
+	KindBufReject
+	KindBufCrashLost
+	// Coherence events.
+	KindInvalidate // Aux = requesting core
+	KindIntervene  // Aux = requesting core
+	KindLLCEvict   // Aux = 1 if writeback, 0 if dropped
+	// Memory-controller events.
+	KindWPQInsert
+	KindWPQDrain
+	KindCrashDrain
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindStoreCommit:
+		return "store-commit"
+	case KindClwb:
+		return "clwb"
+	case KindFence:
+		return "fence"
+	case KindEpochMark:
+		return "epoch"
+	case KindAtomic:
+		return "atomic"
+	case KindBufAlloc:
+		return "pb-alloc"
+	case KindBufCoalesce:
+		return "pb-coalesce"
+	case KindBufDrain:
+		return "pb-drain"
+	case KindBufForcedDrain:
+		return "pb-forced-drain"
+	case KindBufMigrate:
+		return "pb-migrate"
+	case KindBufReject:
+		return "pb-reject"
+	case KindBufCrashLost:
+		return "pb-crash-lost"
+	case KindInvalidate:
+		return "invalidate"
+	case KindIntervene:
+		return "intervene"
+	case KindLLCEvict:
+		return "llc-evict"
+	case KindWPQInsert:
+		return "wpq-insert"
+	case KindWPQDrain:
+		return "wpq-drain"
+	case KindCrashDrain:
+		return "crash-drain"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one fixed-size trace record.
+type Event struct {
+	Cycle uint64
+	Kind  Kind
+	Core  int16 // -1 when not core-specific
+	Addr  uint64
+	Aux   uint64
+}
+
+// Recorder is a fixed-capacity ring buffer of events. A nil *Recorder is a
+// valid, disabled recorder: Emit on nil is a no-op, so components can hold
+// one unconditionally.
+type Recorder struct {
+	ring    []Event
+	next    int
+	wrapped bool
+	// Emitted counts all events ever emitted, including overwritten ones.
+	Emitted uint64
+}
+
+// New returns a recorder keeping the last capacity events.
+func New(capacity int) *Recorder {
+	if capacity <= 0 {
+		panic("trace: capacity must be positive")
+	}
+	return &Recorder{ring: make([]Event, capacity)}
+}
+
+// Emit records one event. Safe on a nil recorder.
+func (r *Recorder) Emit(cycle uint64, kind Kind, core int, addr, aux uint64) {
+	if r == nil {
+		return
+	}
+	r.ring[r.next] = Event{Cycle: cycle, Kind: kind, Core: int16(core), Addr: addr, Aux: aux}
+	r.next++
+	r.Emitted++
+	if r.next == len(r.ring) {
+		r.next = 0
+		r.wrapped = true
+	}
+}
+
+// Len reports how many events are currently retained.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	if r.wrapped {
+		return len(r.ring)
+	}
+	return r.next
+}
+
+// Events returns the retained events, oldest first.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	if !r.wrapped {
+		return append([]Event(nil), r.ring[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.ring))
+	out = append(out, r.ring[r.next:]...)
+	out = append(out, r.ring[:r.next]...)
+	return out
+}
+
+// Dump writes the retained events, one per line, oldest first.
+func (r *Recorder) Dump(w io.Writer) {
+	for _, e := range r.Events() {
+		core := "  -"
+		if e.Core >= 0 {
+			core = fmt.Sprintf("c%02d", e.Core)
+		}
+		fmt.Fprintf(w, "%12d %s %-16s addr=%#012x aux=%d\n", e.Cycle, core, e.Kind, e.Addr, e.Aux)
+	}
+}
+
+// CountByKind tallies retained events per kind.
+func (r *Recorder) CountByKind() map[Kind]int {
+	out := map[Kind]int{}
+	for _, e := range r.Events() {
+		out[e.Kind]++
+	}
+	return out
+}

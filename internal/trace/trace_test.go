@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Emit(1, KindStoreCommit, 0, 0x40, 0) // must not panic
+	if r.Len() != 0 {
+		t.Fatal("nil recorder has length")
+	}
+	if r.Events() != nil {
+		t.Fatal("nil recorder has events")
+	}
+}
+
+func TestEmitAndOrder(t *testing.T) {
+	r := New(8)
+	for i := uint64(0); i < 5; i++ {
+		r.Emit(i, KindBufAlloc, int(i%2), 0x100+i*64, i)
+	}
+	evs := r.Events()
+	if len(evs) != 5 || r.Len() != 5 {
+		t.Fatalf("len = %d/%d", len(evs), r.Len())
+	}
+	for i, e := range evs {
+		if e.Cycle != uint64(i) {
+			t.Fatalf("event %d out of order: %+v", i, e)
+		}
+	}
+	if r.Emitted != 5 {
+		t.Fatalf("Emitted = %d", r.Emitted)
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	r := New(4)
+	for i := uint64(0); i < 10; i++ {
+		r.Emit(i, KindWPQDrain, -1, i, 0)
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d, want 4", len(evs))
+	}
+	if evs[0].Cycle != 6 || evs[3].Cycle != 9 {
+		t.Fatalf("wrong window: %v..%v", evs[0].Cycle, evs[3].Cycle)
+	}
+	if r.Emitted != 10 {
+		t.Fatalf("Emitted = %d", r.Emitted)
+	}
+}
+
+func TestDumpFormat(t *testing.T) {
+	r := New(4)
+	r.Emit(42, KindBufDrain, 3, 0x200000000, 0)
+	r.Emit(43, KindLLCEvict, -1, 0x200000040, 1)
+	var b strings.Builder
+	r.Dump(&b)
+	out := b.String()
+	if !strings.Contains(out, "pb-drain") || !strings.Contains(out, "llc-evict") {
+		t.Fatalf("dump missing kinds:\n%s", out)
+	}
+	if !strings.Contains(out, "c03") || !strings.Contains(out, "  -") {
+		t.Fatalf("dump core formatting wrong:\n%s", out)
+	}
+}
+
+func TestCountByKind(t *testing.T) {
+	r := New(16)
+	r.Emit(1, KindBufAlloc, 0, 0, 0)
+	r.Emit(2, KindBufAlloc, 1, 0, 0)
+	r.Emit(3, KindBufDrain, 0, 0, 0)
+	c := r.CountByKind()
+	if c[KindBufAlloc] != 2 || c[KindBufDrain] != 1 {
+		t.Fatalf("counts = %v", c)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := KindNone + 1; k <= KindCrashDrain; k++ {
+		if strings.HasPrefix(k.String(), "kind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+}
+
+func TestBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(0)
+}

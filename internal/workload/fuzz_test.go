@@ -1,0 +1,29 @@
+package workload
+
+import (
+	"testing"
+
+	"bbb/internal/persistency"
+)
+
+// FuzzCrashPoints crashes a BBB run at fuzz-chosen cycles and requires the
+// recovery invariants to hold at every one of them — the paper's central
+// claim, under adversarially chosen timing. The seed corpus runs as a
+// normal test; `go test -fuzz FuzzCrashPoints` explores further.
+func FuzzCrashPoints(f *testing.F) {
+	f.Add(uint32(1_000), uint8(0))
+	f.Add(uint32(33_333), uint8(1))
+	f.Add(uint32(77_777), uint8(2))
+	f.Add(uint32(250_000), uint8(3))
+	f.Fuzz(func(t *testing.T, crashAt uint32, pick uint8) {
+		ws := []Workload{NewLinkedList(), NewHashmap(), NewWAL(), NewBTree()}
+		w := ws[int(pick)%len(ws)]
+		p := testParams(120)
+		p.NoBarriers = true
+		cycle := uint64(crashAt)%300_000 + 100
+		sys, _, _ := RunToCrash(w, persistency.BBB, testConfig(), p, cycle)
+		if err := w.Check(sys.Mem); err != nil {
+			t.Fatalf("%s crash@%d: %v", w.Name(), cycle, err)
+		}
+	})
+}

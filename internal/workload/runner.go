@@ -1,0 +1,38 @@
+package workload
+
+import (
+	"bbb/internal/palloc"
+	"bbb/internal/persistency"
+	"bbb/internal/system"
+)
+
+// Build constructs a fresh machine for scheme s, sets the workload up in
+// its persistent image, and returns the machine plus the per-core programs.
+// Each call gets an independent arena, so runs never share state.
+func Build(w Workload, s persistency.Scheme, cfg system.Config, p Params) (*system.System, []system.Program) {
+	cfg.Scheme = s
+	cfg.Cores = p.Threads
+	cfg.Hierarchy.Cores = p.Threads
+	sys := system.New(cfg)
+	arena := palloc.FromLayout(cfg.Layout)
+	w.Setup(sys.Mem, arena, p)
+	return sys, w.Programs(p)
+}
+
+// Run executes the workload to completion under scheme s and returns the
+// result (the Fig. 7 measurement path).
+func Run(w Workload, s persistency.Scheme, cfg system.Config, p Params) system.Result {
+	sys, progs := Build(w, s, cfg, p)
+	defer sys.Shutdown()
+	return sys.Run(progs)
+}
+
+// RunToCrash executes the workload, crashes it at crashCycle (or lets it
+// finish if it completes first), performs the scheme's flush-on-fail, and
+// returns the machine for image inspection plus the drain report.
+func RunToCrash(w Workload, s persistency.Scheme, cfg system.Config, p Params, crashCycle uint64) (*system.System, persistency.DrainReport, bool) {
+	sys, progs := Build(w, s, cfg, p)
+	finished := sys.RunUntil(crashCycle, progs)
+	rep := sys.Crash()
+	return sys, rep, finished
+}

@@ -1,0 +1,161 @@
+// Package workload implements the paper's Table IV benchmarks as real data
+// structures executing against the simulated machine: rtree, ctree and
+// hashmap insertions, array mutate and array swap (non-conflicting and
+// conflicting variants), plus the motivating linked-list example of
+// Figures 2 and 3.
+//
+// Every structure lives in the persistent heap and is written with
+// *ordering-aware* code: each operation's stores are sequenced so that every
+// program-order prefix leaves the structure consistent (fully initialize a
+// node, then publish it with a single pointer store; widen bounds before
+// descending; bump counts after filling slots). Under BBB that ordering is
+// durable for free; under the PMEM baseline it needs the PersistBarrier
+// calls, and omitting them (NoBarriers) reproduces the Figure 2 bug.
+// Failure *atomicity* of whole operations is explicitly out of scope, as in
+// the paper (§II-A, §VI) — checkers verify ordering invariants only.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bbb/internal/cpu"
+	"bbb/internal/memory"
+	"bbb/internal/palloc"
+	"bbb/internal/system"
+)
+
+// Params control a workload instance.
+type Params struct {
+	// Threads is the number of cores/programs (the paper runs 8).
+	Threads int
+	// OpsPerThread is the number of operations each thread performs.
+	OpsPerThread int
+	// Seed makes runs reproducible.
+	Seed int64
+	// NoBarriers omits PersistBarrier calls, reproducing Figure 2's buggy
+	// code under the PMEM baseline (harmless under BBB/eADR — the point of
+	// the paper).
+	NoBarriers bool
+	// VolatileWork scales the DRAM-side work interleaved between
+	// operations, which sets the %P-stores mix of Table IV. Zero uses the
+	// workload's default.
+	VolatileWork int
+}
+
+// DefaultParams mirrors the paper's setup at a simulation-friendly scale.
+func DefaultParams() Params {
+	return Params{Threads: 8, OpsPerThread: 2000, Seed: 1}
+}
+
+// Workload is one Table IV benchmark.
+type Workload interface {
+	// Name is the Table IV identifier (rtree, ctree, hashmap, mutateNC...).
+	Name() string
+	// Description matches the Table IV description column.
+	Description() string
+	// Setup pre-loads the initial persistent image (roots, arrays) and
+	// claims heap space from arena. Called once before Programs.
+	Setup(mem *memory.Memory, arena *palloc.Arena, p Params)
+	// Programs returns one program per thread.
+	Programs(p Params) []system.Program
+	// Check walks the persistent image as post-crash recovery code would,
+	// returning an error on any ordering-invariant violation.
+	Check(mem *memory.Memory) error
+	// PaperPStores is the %P-stores column of Table IV (0 if not listed).
+	PaperPStores() float64
+}
+
+// Registry returns the Table IV workloads, in the paper's order.
+func Registry() []Workload {
+	return []Workload{
+		NewRTree(),
+		NewCTree(),
+		NewHashmap(),
+		NewArray(OpMutate, false),
+		NewArray(OpMutate, true),
+		NewArray(OpSwap, false),
+		NewArray(OpSwap, true),
+	}
+}
+
+// Extras returns the workloads beyond Table IV: the Figures 2/3 linked
+// list, the shadow-paging btree the paper's §IV-B prose mentions, and the
+// write-ahead-log pattern of the NVWAL line of work.
+func Extras() []Workload {
+	return []Workload{NewLinkedList(), NewBTree(), NewWAL()}
+}
+
+// ByName finds a registered workload (Table IV rows plus Extras).
+func ByName(name string) (Workload, error) {
+	for _, w := range append(Registry(), Extras()...) {
+		if w.Name() == name {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown workload %q", name)
+}
+
+// --- shared helpers ---
+
+const (
+	magicListNode = 0xB1B0_0001
+	magicHashNode = 0xB1B0_0002
+	magicLeaf     = 0xB1B0_0003
+	magicInternal = 0xB1B0_0004
+	magicRNode    = 0xB1B0_0005
+	magicBNode    = 0xB1B0_0006
+)
+
+// rng returns the deterministic per-thread random stream.
+func rng(p Params, thread int) *rand.Rand {
+	return rand.New(rand.NewSource(p.Seed*1000003 + int64(thread)))
+}
+
+// volatileScratchBase returns a per-thread DRAM scratch buffer address used
+// to model the computation between persists (key generation, comparisons).
+func volatileScratchBase(thread int) memory.Addr {
+	return memory.Addr(0x1000_0000 + thread*64*memory.LineSize)
+}
+
+// volatileWork performs n DRAM stores (plus a read and a little compute) in
+// the thread's scratch buffer — the non-persistent side of the store mix.
+func volatileWork(e cpu.Env, thread, n int, r *rand.Rand) {
+	base := volatileScratchBase(thread)
+	for i := 0; i < n; i++ {
+		off := memory.Addr(r.Intn(64*8)) * 8
+		cpu.Store64(e, base+off, r.Uint64())
+	}
+	if n > 0 {
+		cpu.Load64(e, base)
+		e.Compute(4 * uint64(n))
+	}
+}
+
+// peek64 reads a little-endian uint64 from the durable image.
+func peek64(mem *memory.Memory, a memory.Addr) uint64 {
+	b := mem.Peek(a, 8)
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+// poke64 writes a little-endian uint64 into the durable image (setup only).
+func poke64(mem *memory.Memory, a memory.Addr, v uint64) {
+	b := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * uint(i)))
+	}
+	mem.Poke(a, b)
+}
+
+// barrier issues the scheme's persist barrier unless the workload was built
+// without them.
+func barrier(e cpu.Env, p Params, addrs ...memory.Addr) {
+	if p.NoBarriers {
+		return
+	}
+	e.PersistBarrier(addrs...)
+}

@@ -1,0 +1,206 @@
+package bbb
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"bbb/internal/energy"
+	"bbb/internal/persistency"
+	"bbb/internal/system"
+)
+
+// This file renders the paper's tables and figures as text, shared by the
+// bbbench CLI and anyone embedding the library.
+
+func rule(w io.Writer, width int) { fmt.Fprintln(w, strings.Repeat("-", width)) }
+
+// PrintTable1 renders the qualitative scheme comparison (Table I).
+func PrintTable1(w io.Writer) {
+	fmt.Fprintln(w, "Table I: strict-persistency schemes compared (rows 5-6 are this repo's extensions)")
+	rule(w, 106)
+	fmt.Fprintf(w, "%-18s %-14s %-14s %-8s %-14s %-20s %-16s\n",
+		"Scheme", "SW complexity", "Persist inst.", "HW cmplx", "Strict penalty", "Battery", "PoP")
+	rule(w, 106)
+	for _, s := range persistency.Schemes() {
+		t := persistency.TraitsOf(s)
+		fmt.Fprintf(w, "%-18s %-14s %-14s %-8s %-14s %-20s %-16s\n",
+			t.Name, t.SWComplexity, t.PersistInsts, t.HWComplexity, t.StrictPenalty, t.BatteryNeeded, t.PoPLocation)
+	}
+}
+
+// PrintTable3 renders the simulated system configuration (Table III).
+func PrintTable3(w io.Writer) {
+	cfg := system.DefaultConfig(SchemeBBB)
+	fmt.Fprintln(w, "Table III: simulated system configuration")
+	rule(w, 72)
+	fmt.Fprintf(w, "%-12s %d cores, in-order issue + 32-entry store buffer, 2 GHz\n", "Processor", cfg.Cores)
+	fmt.Fprintf(w, "%-12s private, %d KiB, %d-way, 64 B lines, %d cycles\n", "L1D",
+		cfg.Hierarchy.L1Size/1024, cfg.Hierarchy.L1Ways, cfg.Hierarchy.L1Lat)
+	fmt.Fprintf(w, "%-12s shared, %d MiB, %d-way, 64 B lines, %d cycles\n", "L2",
+		cfg.Hierarchy.L2Size/(1024*1024), cfg.Hierarchy.L2Ways, cfg.Hierarchy.L2Lat)
+	fmt.Fprintf(w, "%-12s %d GiB, %d ns read/write, %d channels\n", "DRAM",
+		8, cfg.DRAM.ReadLat/2, cfg.DRAM.Channels)
+	fmt.Fprintf(w, "%-12s %d GiB, %d ns read, %d ns write (ADR), %d-entry WPQ\n", "NVMM",
+		8, cfg.NVMM.ReadLat/2, cfg.NVMM.WriteLat/2, cfg.NVMM.WPQEntries)
+	fmt.Fprintf(w, "%-12s %d entries per core, drain threshold %.0f%%\n", "bbPB",
+		cfg.BBPB.Entries, 100*cfg.BBPB.DrainThreshold)
+}
+
+// PrintTable4 renders the workload table with measured %P-stores.
+func PrintTable4(w io.Writer, rows []PStoreRow) {
+	fmt.Fprintln(w, "Table IV: workloads and store mix")
+	rule(w, 100)
+	fmt.Fprintf(w, "%-10s %-58s %12s %10s\n", "Workload", "Description", "%P (meas.)", "%P (paper)")
+	rule(w, 100)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %-58s %11.1f%% %9.1f%%\n", r.Workload, r.Description, r.MeasuredPct, r.PaperPct)
+	}
+}
+
+// PrintTable5 renders the drain-cost evaluation platforms (Table V).
+func PrintTable5(w io.Writer) {
+	fmt.Fprintln(w, "Table V: systems used to evaluate draining costs")
+	rule(w, 78)
+	fmt.Fprintf(w, "%-18s %8s %14s %14s %14s %9s\n", "Component", "Cores", "L1 total", "L2 total", "L3 total", "Channels")
+	rule(w, 78)
+	for _, p := range energy.Platforms() {
+		fmt.Fprintf(w, "%-18s %8d %11.2f MiB %11.2f MiB %11.2f MiB %9d\n",
+			p.Name, p.Cores,
+			float64(p.L1Bytes)/(1024*1024), float64(p.L2Bytes)/(1024*1024), float64(p.L3Bytes)/(1024*1024),
+			p.Channels)
+	}
+}
+
+// PrintTable6 renders the drain-operation energy costs (Table VI).
+func PrintTable6(w io.Writer) {
+	m := energy.DefaultCostModel()
+	fmt.Fprintln(w, "Table VI: estimated energy costs of draining operations")
+	rule(w, 60)
+	fmt.Fprintf(w, "%-40s %16s\n", "Operation", "Energy cost")
+	rule(w, 60)
+	fmt.Fprintf(w, "%-40s %13.0f pJ/B\n", "Accessing data from SRAM", m.SRAMAccessPJPerByte)
+	fmt.Fprintf(w, "%-40s %13.3f nJ/B\n", "Moving data from L1D to NVMM", m.L1ToNVMMNJPerByte)
+	fmt.Fprintf(w, "%-40s %13.3f nJ/B\n", "Moving data from bbPB to NVMM", m.L1ToNVMMNJPerByte)
+	fmt.Fprintf(w, "%-40s %13.3f nJ/B\n", "Moving data from L2 to NVMM", m.L2ToNVMMNJPerByte)
+	fmt.Fprintf(w, "%-40s %13.3f nJ/B\n", "Moving data from L3 to NVMM", m.L3ToNVMMNJPerByte)
+}
+
+// PrintTable7And8 renders the draining energy and time comparison.
+func PrintTable7And8(w io.Writer, entries int) {
+	rows := energy.DrainCosts(energy.DefaultCostModel(), entries)
+	fmt.Fprintf(w, "Table VII: estimated draining energy (dirty blocks only, %d-entry bbPB)\n", entries)
+	rule(w, 74)
+	fmt.Fprintf(w, "%-14s %14s %14s %14s\n", "System", "eADR", "BBB", "eADR/BBB")
+	rule(w, 74)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %11.1f mJ %11.0f uJ %13.0fx\n",
+			r.Platform, r.EADREnergyJ*1e3, r.BBBEnergyJ*1e6, r.EnergyRatio)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Table VIII: estimated draining time (dirty blocks only)")
+	rule(w, 74)
+	fmt.Fprintf(w, "%-14s %14s %14s %14s\n", "System", "eADR", "BBB", "eADR/BBB")
+	rule(w, 74)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %11.2f ms %11.1f us %13.0fx\n",
+			r.Platform, r.EADRTimeS*1e3, r.BBBTimeS*1e6, r.TimeRatio)
+	}
+}
+
+// PrintTable9 renders the battery-size estimates.
+func PrintTable9(w io.Writer, entries int) {
+	rows := energy.BatterySizes(energy.DefaultCostModel(), entries)
+	fmt.Fprintf(w, "Table IX: energy-source size (full caches / full %d-entry bbPBs)\n", entries)
+	rule(w, 88)
+	fmt.Fprintf(w, "%-14s %-8s %-10s %16s %16s %16s\n", "System", "Scheme", "Tech", "Volume (mm^3)", "Area (mm^2)", "Ratio to core")
+	rule(w, 88)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %-8s %-10s %16.3g %16.3g %15.3gx\n",
+			r.Platform, r.Scheme, r.Tech, r.VolumeMM3, r.AreaMM2, r.AreaRatioToCore)
+	}
+}
+
+// PrintTable10 renders the battery-size sweep over bbPB entries.
+func PrintTable10(w io.Writer) {
+	rows := energy.BatterySweep(energy.DefaultCostModel())
+	fmt.Fprintln(w, "Table X: BBB battery size (mm^3) vs bbPB entries")
+	rule(w, 96)
+	fmt.Fprintf(w, "%-10s %-14s", "Tech", "Platform")
+	for _, n := range energy.TableXEntries {
+		fmt.Fprintf(w, "%9d", n)
+	}
+	fmt.Fprintln(w)
+	rule(w, 96)
+	for _, tech := range []string{"SuperCap", "Li-thin"} {
+		for _, plat := range []string{"Mobile Class", "Server Class"} {
+			fmt.Fprintf(w, "%-10s %-14s", tech, plat)
+			for _, n := range energy.TableXEntries {
+				for _, r := range rows {
+					if r.Tech == tech && r.Platform == plat && r.Entries == n {
+						fmt.Fprintf(w, "%9.3g", r.VolumeMM3)
+					}
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// PrintTable11 renders the eADR-vs-BBB cost summary (Table XI).
+func PrintTable11(w io.Writer) {
+	fmt.Fprintln(w, "Table XI: eADR vs BBB hardware/integration costs")
+	rule(w, 86)
+	fmt.Fprintf(w, "%-34s %-24s %-26s\n", "Aspect", "eADR", "BBB")
+	rule(w, 86)
+	fmt.Fprintf(w, "%-34s %-24s %-26s\n", "Processor modifications", "None", "bbPBs + minor coherence")
+	fmt.Fprintf(w, "%-34s %-24s %-26s\n", "Draining energy cost", "Very high", "Low")
+	fmt.Fprintf(w, "%-34s %-24s %-26s\n", "Time needed to drain", "Very high", "Low")
+	fmt.Fprintf(w, "%-34s %-24s %-26s\n", "Drive energy to components", "Needed", "Needed")
+}
+
+// PrintFig7 renders the Figure 7 bars.
+func PrintFig7(w io.Writer, f Fig7Result) {
+	fmt.Fprintln(w, "Figure 7: execution time (a) and NVMM writes (b), normalized to eADR")
+	rule(w, 86)
+	fmt.Fprintf(w, "%-10s %12s %12s | %12s %12s %14s\n",
+		"Workload", "exec BBB-32", "exec BBB-1k", "wr BBB-32", "wr BBB-1k", "eADR writes")
+	rule(w, 86)
+	for _, r := range f.Rows {
+		fmt.Fprintf(w, "%-10s %12.3f %12.3f | %12.3f %12.3f %14d\n",
+			r.Workload, r.ExecBBB32, r.ExecBBB1024, r.WritesBBB32, r.WritesBBB1024, r.EADRWrites)
+	}
+	rule(w, 86)
+	fmt.Fprintf(w, "BBB-32 exec overhead: mean %.1f%%, worst %.1f%% (paper: ~1%%, 2.8%%)\n",
+		100*f.MeanExecOverheadBBB32, 100*f.WorstExecOverheadBBB32)
+	fmt.Fprintf(w, "BBB-32 write overhead: mean %.1f%% (paper: 4.9%%); BBB-1024: %.1f%% (paper: <1%%)\n",
+		100*f.MeanWriteOverheadBBB32, 100*f.MeanWriteOverheadBBB1024)
+}
+
+// PrintSchemeComparison renders the extended all-schemes sweep with wear
+// (endurance) statistics.
+func PrintSchemeComparison(w io.Writer, rows []SchemeRow) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "Extended scheme comparison on %s (with per-line NVMM wear)\n", rows[0].Workload)
+	rule(w, 92)
+	fmt.Fprintf(w, "%-18s %12s %12s %12s %12s %12s\n",
+		"Scheme", "cycles", "NVMM writes", "rejections", "wear max", "wear mean")
+	rule(w, 92)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s %12d %12d %12d %12d %12.2f\n",
+			persistency.TraitsOf(r.Scheme).Name, r.Cycles, r.NVMMWrites, r.Rejections, r.WearMax, r.WearMean)
+	}
+}
+
+// PrintFig8 renders the Figure 8 sensitivity sweep.
+func PrintFig8(w io.Writer, pts []Fig8Point) {
+	fmt.Fprintln(w, "Figure 8: sensitivity to bbPB size (geomean over workloads, normalized to 1 entry)")
+	rule(w, 64)
+	fmt.Fprintf(w, "%8s %16s %16s %16s\n", "Entries", "(a) rejections", "(b) exec time", "(c) drains")
+	rule(w, 64)
+	for _, p := range pts {
+		fmt.Fprintf(w, "%8d %16.4f %16.4f %16.4f\n", p.Entries, p.Rejections, p.ExecTime, p.Drains)
+	}
+}

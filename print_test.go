@@ -1,0 +1,59 @@
+package bbb
+
+import (
+	"strings"
+	"testing"
+)
+
+// The table printers feed the bbbench CLI; each must render every expected
+// row without touching the simulator.
+func TestStaticTablePrinters(t *testing.T) {
+	var b strings.Builder
+	PrintTable1(&b)
+	PrintTable3(&b)
+	PrintTable5(&b)
+	PrintTable6(&b)
+	PrintTable7And8(&b, 32)
+	PrintTable9(&b, 32)
+	PrintTable10(&b)
+	PrintTable11(&b)
+	out := b.String()
+	for _, want := range []string{
+		"PMEM", "eADR", "BBB", "BEP", "NVCache", // Table I rows
+		"bbPB", "drain threshold 75%", // Table III
+		"Mobile Class", "Server Class", // Table V
+		"11.839", "11.228", // Table VI
+		"eADR/BBB",            // Tables VII/VIII
+		"SuperCap", "Li-thin", // Table IX
+		"1024",                    // Table X sweep
+		"Processor modifications", // Table XI
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed tables missing %q", want)
+		}
+	}
+}
+
+func TestDynamicPrinters(t *testing.T) {
+	o := scaled(60)
+	var b strings.Builder
+	PrintTable4(&b, RunTable4(o))
+	if !strings.Contains(b.String(), "hashmap") {
+		t.Fatal("Table IV print missing workloads")
+	}
+	b.Reset()
+	PrintFig8(&b, RunFig8(o, []int{1, 32}))
+	if !strings.Contains(b.String(), "32") {
+		t.Fatal("Fig 8 print missing sweep points")
+	}
+	b.Reset()
+	rows, err := RunSchemeComparison("mutateNC", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrintSchemeComparison(&b, rows)
+	if !strings.Contains(b.String(), "wear") {
+		t.Fatal("scheme comparison print missing wear columns")
+	}
+	PrintSchemeComparison(&b, nil) // empty input must be a no-op
+}
