@@ -1,0 +1,38 @@
+# Correctness gates for the BBB simulator; see docs/ARCHITECTURE.md §8.
+
+GO ?= go
+
+.PHONY: all build test vet race invariant fuzz-short check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+# Tier-1: the seed gate.
+test:
+	$(GO) test ./...
+
+# Static analysis: go vet plus the project's bbbvet suite
+# (locklint, detlint, statlint, cyclelint).
+vet:
+	$(GO) vet ./...
+	$(GO) run ./cmd/bbbvet ./...
+
+# Race detector across the full suite (the workload runners are the only
+# multi-goroutine code; the seed baseline is race-clean).
+race:
+	$(GO) test -race ./...
+
+# Step-wise runtime invariant harnesses (re-check the machine after every
+# engine event) plus the race detector over the internal packages.
+invariant:
+	$(GO) test -race -tags invariant ./internal/...
+
+# A bounded pass over every fuzz target.
+fuzz-short:
+	$(GO) test -run=^$$ -fuzz=FuzzCacheOps -fuzztime=10s ./internal/cache
+	$(GO) test -run=^$$ -fuzz=FuzzCrashPoints -fuzztime=10s ./internal/workload
+
+# Tier-1.5: everything above.
+check: build test vet race invariant

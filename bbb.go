@@ -29,6 +29,7 @@ import (
 	"io"
 
 	"bbb/internal/engine"
+	"bbb/internal/invariant"
 	"bbb/internal/persistency"
 	"bbb/internal/recovery"
 	"bbb/internal/system"
@@ -37,6 +38,12 @@ import (
 
 // Scheme selects a persistency scheme.
 type Scheme = persistency.Scheme
+
+// Cycle is a point in simulated time, in core clock cycles. Cycle-typed
+// API parameters (crash points, run limits) want explicit conversions at
+// the boundary — cmd/bbbvet's cyclelint enforces that cycle counts never
+// mix implicitly with raw integers.
+type Cycle = engine.Cycle
 
 // The Table I schemes plus the two extension designs.
 const (
@@ -153,6 +160,41 @@ func MustRun(workloadName string, s Scheme, o Options) Result {
 		panic(err)
 	}
 	return r
+}
+
+// RunChecked is Run with the runtime invariant auditor armed: every
+// checkPeriod cycles (default 1000 when zero) the machine's coherence and
+// persist-buffer invariants are verified between engine events — see
+// internal/invariant — and the first violation is returned as the error
+// alongside the (tainted) result. bbbsim's -check flag uses it.
+func RunChecked(workloadName string, s Scheme, o Options, checkPeriod Cycle) (Result, error) {
+	wl, err := workload.ByName(workloadName)
+	if err != nil {
+		return Result{}, err
+	}
+	if checkPeriod == 0 {
+		checkPeriod = 1000
+	}
+	sys, progs := workload.Build(wl, s, o.sysConfig(s), o.params())
+	defer sys.Shutdown()
+	allDone := func() bool {
+		for _, c := range sys.Cores {
+			if !c.Done() {
+				return false
+			}
+		}
+		return true
+	}
+	var violation error
+	invariant.Attach(sys, checkPeriod, allDone, func(err error) { violation = err })
+	res := sys.Run(progs)
+	if violation != nil {
+		return res, fmt.Errorf("invariant violation mid-run: %w", violation)
+	}
+	if err := invariant.CheckSystem(sys); err != nil {
+		return res, fmt.Errorf("invariant violation after run: %w", err)
+	}
+	return res, nil
 }
 
 // RunTraced is Run plus a dump of the retained microarchitectural trace to

@@ -71,7 +71,7 @@ func main() {
 				L1Size: 1024,
 				L2Size: 4096,
 			}
-			rep, err := bbb.CrashCampaign(w, c.scheme, o, *points, *first, *step)
+			rep, err := bbb.CrashCampaign(w, c.scheme, o, *points, bbb.Cycle(*first), bbb.Cycle(*step))
 			if err != nil {
 				log.Fatal(err)
 			}

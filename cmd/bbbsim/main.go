@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"bbb"
+	"bbb/internal/stats"
 )
 
 func main() {
@@ -32,6 +33,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "workload RNG seed")
 		verbose    = flag.Bool("verbose", false, "dump all component counters")
 		traceN     = flag.Int("trace", 0, "dump the last N microarchitectural events after the run")
+		check      = flag.Bool("check", false, "audit coherence and bbPB invariants every 1000 cycles (see internal/invariant)")
 	)
 	flag.Parse()
 
@@ -48,12 +50,17 @@ func main() {
 		Seed:           *seed,
 	}
 	var res bbb.Result
-	if *traceN > 0 {
+	switch {
+	case *check && *traceN > 0:
+		log.Fatal("-check and -trace are mutually exclusive")
+	case *check:
+		res, err = bbb.RunChecked(*wl, s, o, 0)
+	case *traceN > 0:
 		o.TraceCapacity = *traceN
 		fmt.Printf("--- last %d microarchitectural events ---\n", *traceN)
 		res, err = bbb.RunTraced(*wl, s, o, os.Stdout)
 		fmt.Println("---")
-	} else {
+	default:
 		res, err = bbb.Run(*wl, s, o)
 	}
 	if err != nil {
@@ -74,6 +81,6 @@ func main() {
 	fmt.Printf("dirty cache lines   %.1f%% (paper assumes 44.9%% for eADR estimates)\n", 100*res.DirtyFraction)
 	if *verbose {
 		fmt.Println("\ncomponent counters:")
-		fmt.Fprint(os.Stdout, res.Counters.String())
+		fmt.Fprint(os.Stdout, res.Counters.StringWith(stats.Glossary))
 	}
 }

@@ -1,0 +1,89 @@
+// Command bbbvet is the repository's custom static-analysis driver. It
+// enforces the persistency-contract and determinism rules the simulator
+// relies on but the Go compiler cannot check:
+//
+//	locklint   lineLock-guarded state touched outside annotated scopes
+//	detlint    nondeterminism in simulator packages (wall clock, global
+//	           rand, map-order-dependent loops)
+//	statlint   counter names that are read but never incremented (typos)
+//	           or incremented but never consumed
+//	cyclelint  engine.Cycle values mixed with raw integer variables
+//
+// Usage:
+//
+//	go run ./cmd/bbbvet ./...
+//
+// Exit status is non-zero when any diagnostic is reported. Individual
+// findings are suppressed with `//bbbvet:ignore <analyzer> <reason>` on
+// (or directly above) the offending line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bbb/internal/vet"
+	"bbb/internal/vet/cyclelint"
+	"bbb/internal/vet/detlint"
+	"bbb/internal/vet/locklint"
+	"bbb/internal/vet/statlint"
+)
+
+func main() {
+	var only string
+	flag.StringVar(&only, "only", "", "run a single analyzer (locklint, detlint, statlint, cyclelint)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: bbbvet [-only analyzer] [packages]\n\n")
+		for _, a := range analyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "%s\n%s\n\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	selected := analyzers()
+	if only != "" {
+		var found []*vet.Analyzer
+		for _, a := range selected {
+			if a.Name == only {
+				found = append(found, a)
+			}
+		}
+		if len(found) == 0 {
+			fmt.Fprintf(os.Stderr, "bbbvet: unknown analyzer %q\n", only)
+			os.Exit(2)
+		}
+		selected = found
+	}
+
+	pkgs, fset, err := vet.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bbbvet: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := vet.Run(pkgs, fset, selected)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bbbvet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func analyzers() []*vet.Analyzer {
+	return []*vet.Analyzer{
+		locklint.Analyzer,
+		detlint.Analyzer,
+		statlint.Analyzer,
+		cyclelint.Analyzer,
+	}
+}

@@ -70,10 +70,22 @@ type PersistBuffer interface {
 	CrashDrain(write func(memory.Addr, *[memory.LineSize]byte)) int
 	// Counters exposes the buffer's statistics.
 	Counters() *stats.Counters
+
+	// Cap reports the buffer's entry capacity (Config.Entries).
+	Cap() int
+	// InOrder reports whether the organization must drain in program order
+	// (processor-side) rather than freely (memory-side).
+	InOrder() bool
+	// ForEachEntry calls fn for every live entry in allocation order with
+	// its block address, allocation sequence number (strictly increasing
+	// over the buffer's lifetime) and whether a drain is in flight.
+	// Read-only; the runtime invariant checker audits buffer state with it.
+	ForEachEntry(fn func(addr memory.Addr, seq uint64, draining bool))
 }
 
 type entry struct {
 	addr     memory.Addr
+	seq      uint64
 	data     [memory.LineSize]byte
 	draining bool
 }
@@ -85,6 +97,7 @@ type Buffer struct {
 	eng     *engine.Engine
 	nvmm    *memctrl.Controller
 	entries []entry // FIFO allocation order for FCFS draining
+	seq     uint64  // last allocation sequence number handed out
 	waiters []func()
 	stats   *stats.Counters
 }
@@ -127,7 +140,8 @@ func (b *Buffer) Put(addr memory.Addr, data *[memory.LineSize]byte) bool {
 		b.eng.EmitTrace(trace.KindBufReject, b.coreID, addr, 0)
 		return false
 	}
-	b.entries = append(b.entries, entry{addr: addr, data: *data})
+	b.seq++
+	b.entries = append(b.entries, entry{addr: addr, seq: b.seq, data: *data})
 	b.stats.Inc("bbpb.allocations")
 	b.eng.EmitTrace(trace.KindBufAlloc, b.coreID, addr, 0)
 	b.maybeDrain()
@@ -183,6 +197,19 @@ func (b *Buffer) WaitSpace(fn func()) {
 
 // Occupancy implements PersistBuffer.
 func (b *Buffer) Occupancy() int { return len(b.entries) }
+
+// Cap implements PersistBuffer.
+func (b *Buffer) Cap() int { return b.cfg.Entries }
+
+// InOrder implements PersistBuffer: memory-side entries drain freely.
+func (b *Buffer) InOrder() bool { return false }
+
+// ForEachEntry implements PersistBuffer.
+func (b *Buffer) ForEachEntry(fn func(addr memory.Addr, seq uint64, draining bool)) {
+	for i := range b.entries {
+		fn(b.entries[i].addr, b.entries[i].seq, b.entries[i].draining)
+	}
+}
 
 func (b *Buffer) threshold() int {
 	return int(float64(b.cfg.Entries) * b.cfg.DrainThreshold)

@@ -23,6 +23,7 @@ type ProcSide struct {
 	eng      *engine.Engine
 	nvmm     *memctrl.Controller
 	entries  []entry // strict program order
+	seq      uint64  // last allocation sequence number handed out
 	draining bool    // head drain in flight (in-order: one at a time)
 	waiters  []func()
 	stats    *stats.Counters
@@ -53,7 +54,8 @@ func (p *ProcSide) Put(addr memory.Addr, data *[memory.LineSize]byte) bool {
 		p.stats.Inc("bbpb.rejections")
 		return false
 	}
-	p.entries = append(p.entries, entry{addr: addr, data: *data})
+	p.seq++
+	p.entries = append(p.entries, entry{addr: addr, seq: p.seq, data: *data})
 	p.stats.Inc("bbpb.allocations")
 	p.maybeDrain()
 	return true
@@ -114,6 +116,20 @@ func (p *ProcSide) WaitSpace(fn func()) {
 
 // Occupancy implements PersistBuffer.
 func (p *ProcSide) Occupancy() int { return len(p.entries) }
+
+// Cap implements PersistBuffer.
+func (p *ProcSide) Cap() int { return p.cfg.Entries }
+
+// InOrder implements PersistBuffer: processor-side entries drain strictly
+// in program order, one at a time.
+func (p *ProcSide) InOrder() bool { return true }
+
+// ForEachEntry implements PersistBuffer.
+func (p *ProcSide) ForEachEntry(fn func(addr memory.Addr, seq uint64, draining bool)) {
+	for i := range p.entries {
+		fn(p.entries[i].addr, p.entries[i].seq, p.entries[i].draining)
+	}
+}
 
 func (p *ProcSide) threshold() int {
 	return int(float64(p.cfg.Entries) * p.cfg.DrainThreshold)

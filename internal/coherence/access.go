@@ -173,6 +173,8 @@ func (h *Hierarchy) PrefetchExclusive(core int, addr memory.Addr, done func()) {
 
 // loadLocked implements the read path with la's lock held. ready is invoked
 // at the atomic mutation point with the L1 line and the latency to charge.
+//
+//bbbvet:locked lineLock
 func (h *Hierarchy) loadLocked(core int, la memory.Addr, ready func(*cache.Line, engine.Cycle)) {
 	l1 := h.l1s[core]
 	if line := l1.Lookup(la); line != nil {
@@ -198,6 +200,8 @@ func (h *Hierarchy) loadLocked(core int, la memory.Addr, ready func(*cache.Line,
 
 // storeLocked implements the write path with la's lock held: obtain the line
 // in M state in core's L1, then hand it to ready.
+//
+//bbbvet:locked lineLock
 func (h *Hierarchy) storeLocked(core int, la memory.Addr, ready func(*cache.Line, engine.Cycle)) {
 	l1 := h.l1s[core]
 	line := l1.Lookup(la)
@@ -236,6 +240,8 @@ func (h *Hierarchy) storeLocked(core int, la memory.Addr, ready func(*cache.Line
 // l2Fetch obtains la's data for a read by core. shared reports whether other
 // L1s retain copies (S grant) or none do (E grant). The L2 line is installed
 // if missing. Runs ready at the mutation point.
+//
+//bbbvet:locked lineLock
 func (h *Hierarchy) l2Fetch(core int, la memory.Addr, ready func(data *[memory.LineSize]byte, shared bool, extra engine.Cycle)) {
 	if l2line := h.l2.Lookup(la); l2line != nil {
 		h.Stats.Inc("l2.hits")
@@ -296,6 +302,8 @@ func (h *Hierarchy) l2FetchExclusive(core int, la memory.Addr, ready func(data *
 // invalidateOthers removes every L1 copy of la except core's, merging dirty
 // data into the L2 and firing the persistency migration hook. It returns
 // the number of copies invalidated.
+//
+//bbbvet:locked lineLock
 func (h *Hierarchy) invalidateOthers(core int, la memory.Addr) int {
 	d := h.dirOf(la)
 	l2line := h.l2.Probe(la)
@@ -367,6 +375,8 @@ func (h *Hierarchy) l1Install(core int, la memory.Addr, st cache.State, data *[m
 // evictL1Line removes a (valid) L1 line, merging dirty data into the L2 and
 // maintaining the directory. bbPB entries are untouched: inclusion is with
 // the LLC, not the L1 (§III-B).
+//
+//bbbvet:locked lineLock
 func (h *Hierarchy) evictL1Line(core int, victim *cache.Line) {
 	la := victim.Addr
 	h.Stats.Inc("l1.evictions")

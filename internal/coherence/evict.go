@@ -24,6 +24,10 @@ func (h *Hierarchy) evictL2VictimFor(la memory.Addr, cont func()) {
 // evictL2Line removes one valid L2 line: back-invalidate L1 copies (merging
 // dirty data), delete the directory entry, then let the persistency policy
 // decide between writeback and silent drop. cont runs once the way is free.
+// The caller's fill transaction serializes evictions; the victim itself has
+// no transaction in flight (it is resident, not being fetched).
+//
+//bbbvet:locked lineLock
 func (h *Hierarchy) evictL2Line(victim *cache.Line, cont func()) {
 	la := victim.Addr
 	h.Stats.Inc("l2.evictions")
@@ -74,6 +78,8 @@ func (h *Hierarchy) evictL2Line(victim *cache.Line, cont func()) {
 // controller's persist point (WPQ acceptance under ADR). This is the
 // cache-line writeback instruction the PMEM baseline pairs with a fence;
 // a clean or absent line completes after the lookup latency alone.
+//
+//bbbvet:locked lineLock
 func (h *Hierarchy) Clwb(core int, addr memory.Addr, done func()) {
 	la := memory.LineAddr(addr)
 	h.acquire(la, func(release func()) {

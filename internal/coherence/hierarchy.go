@@ -42,14 +42,25 @@ func DefaultConfig() Config {
 // dirEntry is the directory state for a line resident in the inclusive L2:
 // which L1s share it, and which single L1 (if any) may hold it E/M.
 type dirEntry struct {
-	sharers uint64 // bitmask over cores
-	owner   int    // core holding E/M, or -1
+	sharers uint64 // bitmask over cores; bbbvet:guarded lineLock
+	owner   int    // core holding E/M, or -1; bbbvet:guarded lineLock
 }
 
-func (d *dirEntry) addSharer(c int)     { d.sharers |= 1 << uint(c) }
-func (d *dirEntry) dropSharer(c int)    { d.sharers &^= 1 << uint(c) }
+//bbbvet:locked lineLock
+func (d *dirEntry) addSharer(c int) { d.sharers |= 1 << uint(c) }
+
+//bbbvet:locked lineLock
+func (d *dirEntry) dropSharer(c int) { d.sharers &^= 1 << uint(c) }
+
+// isSharer is read-only and also safe from quiescent walkers.
+//
+//bbbvet:locked lineLock
 func (d *dirEntry) isSharer(c int) bool { return d.sharers&(1<<uint(c)) != 0 }
-func (d *dirEntry) none() bool          { return d.sharers == 0 }
+
+// none is read-only and also safe from quiescent walkers.
+//
+//bbbvet:locked lineLock
+func (d *dirEntry) none() bool { return d.sharers == 0 }
 
 // lineLock serializes transactions per cache line. Transactions hold the
 // lock from issue to completion, so state bound at the atomic mutation
@@ -67,7 +78,7 @@ type Hierarchy struct {
 	layout memory.Layout
 	l1s    []*cache.Cache
 	l2     *cache.Cache
-	dir    map[memory.Addr]*dirEntry
+	dir    map[memory.Addr]*dirEntry // bbbvet:guarded lineLock
 	locks  map[memory.Addr]*lineLock
 	dram   *memctrl.Controller
 	nvmm   *memctrl.Controller
@@ -79,6 +90,8 @@ type Hierarchy struct {
 
 // New wires a hierarchy. policy must not be nil; use NullPolicy for schemes
 // without persist buffers.
+//
+//bbbvet:quiescent construction, before any transaction exists
 func New(cfg Config, eng *engine.Engine, layout memory.Layout, dram, nvmm *memctrl.Controller, policy PersistPolicy) *Hierarchy {
 	if policy == nil {
 		panic("coherence: nil PersistPolicy")
@@ -161,6 +174,8 @@ func (h *Hierarchy) release(addr memory.Addr) {
 
 // dirOf returns the directory entry for a line resident in L2, creating it
 // on first use. Lines absent from L2 must not have directory entries.
+//
+//bbbvet:locked lineLock
 func (h *Hierarchy) dirOf(addr memory.Addr) *dirEntry {
 	d := h.dir[addr]
 	if d == nil {

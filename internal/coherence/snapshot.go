@@ -2,6 +2,7 @@ package coherence
 
 import (
 	"fmt"
+	"sort"
 
 	"bbb/internal/cache"
 	"bbb/internal/memory"
@@ -10,6 +11,8 @@ import (
 // MergedLine returns the architecturally freshest data for la held anywhere
 // in the hierarchy, and whether la is cached at all. The owner L1's copy
 // wins over the L2's.
+//
+//bbbvet:quiescent crash drains and recovery inspection run with no transaction in flight
 func (h *Hierarchy) MergedLine(la memory.Addr) ([memory.LineSize]byte, bool) {
 	l2line := h.l2.Probe(la)
 	if l2line == nil {
@@ -27,6 +30,8 @@ func (h *Hierarchy) MergedLine(la memory.Addr) ([memory.LineSize]byte, bool) {
 // dirty with respect to memory, passing the freshest data. Used by the eADR
 // crash drain (flush-on-fail over the whole hierarchy) and by recovery
 // tests.
+//
+//bbbvet:quiescent crash drains run with no transaction in flight
 func (h *Hierarchy) ForEachDirtyLine(fn func(la memory.Addr, persistent bool, data *[memory.LineSize]byte)) {
 	h.l2.ForEach(func(l2line *cache.Line) {
 		la := l2line.Addr
@@ -46,6 +51,49 @@ func (h *Hierarchy) ForEachDirtyLine(fn func(la memory.Addr, persistent bool, da
 	})
 }
 
+// LineView is a read-only snapshot of one line's state across the
+// hierarchy, taken at quiescence for the runtime invariant checker
+// (internal/invariant).
+type LineView struct {
+	InL2          bool // resident in the inclusive L2 (the LLC)
+	L2Dirty       bool // the L2 copy itself is dirty
+	L2Persistent  bool // the L2 copy maps to NVMM
+	Owner         int  // core holding the line E/M, or -1
+	DirtyAnywhere bool // dirty in the L2 or in the owner's L1
+}
+
+// ViewLine snapshots la's hierarchy state. The zero LineView (with Owner
+// normalized to -1) means the line is uncached.
+//
+//bbbvet:quiescent invariant walks run between engine events
+func (h *Hierarchy) ViewLine(la memory.Addr) LineView {
+	v := LineView{Owner: -1}
+	l2line := h.l2.Probe(la)
+	if l2line == nil {
+		return v
+	}
+	v.InL2 = true
+	v.L2Dirty = l2line.Dirty
+	v.L2Persistent = l2line.Persistent
+	v.DirtyAnywhere = l2line.Dirty
+	if d := h.dir[la]; d != nil {
+		v.Owner = d.owner
+	}
+	if v.Owner >= 0 {
+		if l := h.l1s[v.Owner].Probe(la); l != nil && l.Dirty {
+			v.DirtyAnywhere = true
+		}
+	}
+	return v
+}
+
+// L2Cache exposes the shared L2 for the invariant checker and for tests
+// that need to corrupt hierarchy state deliberately.
+func (h *Hierarchy) L2Cache() *cache.Cache { return h.l2 }
+
+// L1Cache exposes core's private L1D, likewise for checking and tests.
+func (h *Hierarchy) L1Cache(core int) *cache.Cache { return h.l1s[core] }
+
 // DirtyStats reports the valid/dirty line counts of the whole hierarchy
 // (paper §V-A assumes 44.9% of blocks dirty for eADR's drain estimate; this
 // lets experiments report the measured value).
@@ -63,6 +111,8 @@ func (h *Hierarchy) DirtyStats() (valid, dirty int) {
 // CheckInvariants validates the coherence invariants the protocol relies
 // on; tests call it between and after runs. It returns an error describing
 // the first violation found.
+//
+//bbbvet:quiescent invariant walks run between engine events
 func (h *Hierarchy) CheckInvariants() error {
 	// L1 inclusion in L2, and directory consistency.
 	for c, l1 := range h.l1s {
@@ -96,7 +146,16 @@ func (h *Hierarchy) CheckInvariants() error {
 		}
 	}
 	// Directory entries point at real L1 lines; single-writer holds.
-	for la, d := range h.dir {
+	// Iterate in address order so the first violation reported for a given
+	// corrupted state is always the same one (map order is randomized).
+	las := make([]memory.Addr, 0, len(h.dir))
+	//bbbvet:ignore detlint key collection for sorting; order-insensitive
+	for la := range h.dir {
+		las = append(las, la)
+	}
+	sort.Slice(las, func(i, j int) bool { return las[i] < las[j] })
+	for _, la := range las {
+		d := h.dir[la]
 		if h.l2.Probe(la) == nil {
 			return fmt.Errorf("directory entry %#x without L2 line", la)
 		}

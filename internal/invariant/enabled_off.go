@@ -1,0 +1,6 @@
+//go:build !invariant
+
+package invariant
+
+// Enabled is false without the `invariant` build tag; see enabled_on.go.
+const Enabled = false

@@ -1,0 +1,8 @@
+//go:build invariant
+
+package invariant
+
+// Enabled reports whether the build carries the `invariant` tag: test
+// harnesses gate their per-step Check calls on it so the default build
+// pays nothing.
+const Enabled = true

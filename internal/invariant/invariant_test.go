@@ -1,0 +1,275 @@
+package invariant_test
+
+import (
+	"strings"
+	"testing"
+
+	"bbb/internal/bbpb"
+	"bbb/internal/coherence"
+	"bbb/internal/engine"
+	"bbb/internal/invariant"
+	"bbb/internal/memctrl"
+	"bbb/internal/memory"
+	"bbb/internal/persistency"
+	"bbb/internal/system"
+	"bbb/internal/workload"
+)
+
+// Line-aligned probe addresses: pLine persists (NVMM heap), vLine does not.
+const (
+	pLine = memory.Addr(8 << 30)
+	vLine = memory.Addr(0x1000)
+)
+
+// rig is a hierarchy plus one hand-driven bbPB, deliberately NOT wired
+// together (NullPolicy): tests stage exactly the cache and buffer state
+// they want and then ask Check for a verdict.
+type rig struct {
+	t    *testing.T
+	eng  *engine.Engine
+	hier *coherence.Hierarchy
+	buf  *bbpb.Buffer
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	layout := memory.DefaultLayout()
+	eng := engine.New()
+	mem := memory.New(layout)
+	dram := memctrl.New(memctrl.DefaultDRAM(), eng, mem)
+	nvmm := memctrl.New(memctrl.DefaultNVMM(), eng, mem)
+	cfg := coherence.DefaultConfig()
+	cfg.Cores = 2
+	hier := coherence.New(cfg, eng, layout, dram, nvmm, coherence.NullPolicy{})
+	return &rig{t: t, eng: eng, hier: hier, buf: bbpb.New(bbpb.DefaultConfig(), 0, eng, nvmm)}
+}
+
+func (r *rig) view() invariant.View {
+	return invariant.View{Hier: r.hier, Bufs: []bbpb.PersistBuffer{r.buf}}
+}
+
+func (r *rig) load(core int, a memory.Addr) {
+	r.t.Helper()
+	done := false
+	r.hier.Load(core, a, 8, func(uint64) { done = true })
+	r.eng.Run()
+	if !done {
+		r.t.Fatalf("load of %#x never completed", a)
+	}
+}
+
+func (r *rig) store(core int, a memory.Addr, v uint64) {
+	r.t.Helper()
+	done := false
+	r.hier.Store(core, a, 8, v, func() { done = true })
+	r.eng.Run()
+	if !done {
+		r.t.Fatalf("store to %#x never completed", a)
+	}
+}
+
+func (r *rig) put(a memory.Addr) {
+	r.t.Helper()
+	var data [memory.LineSize]byte
+	if !r.buf.Put(a, &data) {
+		r.t.Fatalf("bbPB rejected %#x", a)
+	}
+}
+
+// wantViolation asserts Check reports an error mentioning every fragment.
+func wantViolation(t *testing.T, v invariant.View, fragments ...string) {
+	t.Helper()
+	err := invariant.Check(v)
+	if err == nil {
+		t.Fatalf("Check passed; want violation mentioning %q", fragments)
+	}
+	for _, f := range fragments {
+		if !strings.Contains(err.Error(), f) {
+			t.Fatalf("violation %q does not mention %q", err, f)
+		}
+	}
+}
+
+func TestCleanStateChecksOut(t *testing.T) {
+	r := newRig(t)
+	r.store(0, pLine, 7) // dirty persistent line, cached
+	r.put(pLine)         // buffered with a dirty LLC copy: the §III-B shape
+	r.load(1, pLine)     // share it across cores
+	r.store(1, vLine, 1) // unrelated volatile traffic
+	if err := invariant.Check(r.view()); err != nil {
+		t.Fatalf("clean state reported: %v", err)
+	}
+}
+
+func TestBufferedBlockWithoutLLCCopy(t *testing.T) {
+	r := newRig(t)
+	r.put(pLine) // nothing cached anywhere: dirty inclusion broken
+	wantViolation(t, r.view(), "bbPB[0]", "no LLC copy", "§III-B")
+}
+
+func TestBufferedBlockWithoutPersistentMark(t *testing.T) {
+	r := newRig(t)
+	r.store(0, vLine, 3) // DRAM line: cached dirty, but not persistent
+	r.put(vLine)
+	wantViolation(t, r.view(), "bbPB[0]", "without the Persistent mark")
+}
+
+func TestBufferedBlockWithoutDirtyCopy(t *testing.T) {
+	r := newRig(t)
+	r.load(0, pLine) // clean fill of the persistent line
+	r.put(pLine)
+	wantViolation(t, r.view(), "bbPB[0]", "no dirty cached copy", "§III-E")
+}
+
+func TestCoherenceCorruptionIsDelegated(t *testing.T) {
+	r := newRig(t)
+	r.store(0, vLine, 9)
+	// Desync the directory: the L1 copy vanishes while the directory still
+	// names core 0 a sharer.
+	if _, ok := r.hier.L1Cache(0).Invalidate(vLine); !ok {
+		t.Fatal("expected an L1 line to corrupt")
+	}
+	wantViolation(t, r.view(), "coherence:", "lacks line")
+}
+
+// fakeBuf stages arbitrary bookkeeping answers; unimplemented interface
+// methods panic via the embedded nil, which Check must never call.
+type fakeEntry struct {
+	addr     memory.Addr
+	seq      uint64
+	draining bool
+}
+
+type fakeBuf struct {
+	bbpb.PersistBuffer
+	entries []fakeEntry
+	occ     int
+	cap     int
+	inOrder bool
+}
+
+func (f *fakeBuf) Occupancy() int { return f.occ }
+func (f *fakeBuf) Cap() int       { return f.cap }
+func (f *fakeBuf) InOrder() bool  { return f.inOrder }
+func (f *fakeBuf) ForEachEntry(fn func(memory.Addr, uint64, bool)) {
+	for _, e := range f.entries {
+		fn(e.addr, e.seq, e.draining)
+	}
+}
+
+func bufsOnly(bufs ...bbpb.PersistBuffer) invariant.View {
+	return invariant.View{Bufs: bufs}
+}
+
+func TestOccupancyMismatch(t *testing.T) {
+	f := &fakeBuf{entries: []fakeEntry{{pLine, 1, false}}, occ: 2, cap: 8}
+	wantViolation(t, bufsOnly(f), "Occupancy()=2", "yields 1")
+}
+
+func TestOverCapacity(t *testing.T) {
+	f := &fakeBuf{
+		entries: []fakeEntry{{pLine, 1, false}, {pLine + 64, 2, false}},
+		occ:     2, cap: 1,
+	}
+	wantViolation(t, bufsOnly(f), "2 entries exceed capacity 1")
+}
+
+func TestSequenceRegression(t *testing.T) {
+	f := &fakeBuf{
+		entries: []fakeEntry{{pLine, 5, false}, {pLine + 64, 3, false}},
+		occ:     2, cap: 8,
+	}
+	wantViolation(t, bufsOnly(f), "seq 3 <= predecessor seq 5", "allocation order broken")
+}
+
+func TestInOrderBufferDrainingMidList(t *testing.T) {
+	f := &fakeBuf{
+		entries: []fakeEntry{{pLine, 1, false}, {pLine + 64, 2, true}},
+		occ:     2, cap: 8, inOrder: true,
+	}
+	wantViolation(t, bufsOnly(f), "in-order buffer has non-head entry", "draining")
+}
+
+func TestHeadDrainInOrderIsLegal(t *testing.T) {
+	f := &fakeBuf{
+		entries: []fakeEntry{{pLine, 1, true}, {pLine + 64, 2, false}},
+		occ:     2, cap: 8, inOrder: true,
+	}
+	if err := invariant.Check(bufsOnly(f)); err != nil {
+		t.Fatalf("head drain flagged: %v", err)
+	}
+}
+
+func TestDuplicateBlockAcrossBuffers(t *testing.T) {
+	a := &fakeBuf{entries: []fakeEntry{{pLine, 1, false}}, occ: 1, cap: 8}
+	b := &fakeBuf{entries: []fakeEntry{{pLine, 4, false}}, occ: 1, cap: 8}
+	wantViolation(t, bufsOnly(a, b), "buffered by both bbPB[0] and bbPB[1]", "migration must move")
+}
+
+func TestDuplicateInCoalescingBufferFlagged(t *testing.T) {
+	f := &fakeBuf{
+		entries: []fakeEntry{{pLine, 1, false}, {pLine, 2, false}},
+		occ:     2, cap: 8,
+	}
+	wantViolation(t, bufsOnly(f), "two live entries", "must merge repeat stores")
+}
+
+func TestDuplicateInInOrderBufferIsLegal(t *testing.T) {
+	// Proc-side buffers only coalesce with the youngest entry, so a repeat
+	// store to an older block re-allocates (§III-B).
+	f := &fakeBuf{
+		entries: []fakeEntry{{pLine, 1, false}, {pLine + 64, 2, false}, {pLine, 3, false}},
+		occ:     3, cap: 8, inOrder: true,
+	}
+	if err := invariant.Check(bufsOnly(f)); err != nil {
+		t.Fatalf("in-order repeat flagged: %v", err)
+	}
+}
+
+func TestDrainingDuplicateIsLegal(t *testing.T) {
+	// A drain still in flight on the old owner's buffer may coexist with
+	// the migrated live entry (Buffer counts it as drain_after_migration).
+	a := &fakeBuf{entries: []fakeEntry{{pLine, 1, true}}, occ: 1, cap: 8}
+	b := &fakeBuf{entries: []fakeEntry{{pLine, 4, false}}, occ: 1, cap: 8}
+	if err := invariant.Check(bufsOnly(a, b)); err != nil {
+		t.Fatalf("draining duplicate flagged: %v", err)
+	}
+}
+
+// TestAttachAuditsWholeRun runs a real workload under BBB with the
+// periodic audit armed and requires a clean bill of health — the
+// whole-machine integration the `-check` flag of bbbsim uses.
+func TestAttachAuditsWholeRun(t *testing.T) {
+	w, err := workload.ByName("hashmap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := system.DefaultConfig(persistency.BBB)
+	// Small caches force LLC evictions and forced drains, the paths most
+	// likely to break dirty inclusion.
+	cfg.Hierarchy.L1Size = 1024
+	cfg.Hierarchy.L2Size = 4096
+	p := workload.DefaultParams()
+	p.Threads = 4
+	p.OpsPerThread = 80
+	sys, progs := workload.Build(w, persistency.BBB, cfg, p)
+	defer sys.Shutdown()
+
+	var violation error
+	allDone := func() bool {
+		for _, c := range sys.Cores {
+			if !c.Done() {
+				return false
+			}
+		}
+		return true
+	}
+	invariant.Attach(sys, 250, allDone, func(err error) { violation = err })
+	sys.Run(progs)
+	if violation != nil {
+		t.Fatalf("mid-run violation: %v", violation)
+	}
+	if err := invariant.CheckSystem(sys); err != nil {
+		t.Fatalf("post-run violation: %v", err)
+	}
+}

@@ -48,8 +48,17 @@ func (m *Memory) Wear() WearStats {
 	if len(m.wear) == 0 {
 		return s
 	}
-	counts := make([]uint64, 0, len(m.wear))
-	for a, n := range m.wear {
+	// Iterate lines in address order: MaxLine must be deterministic when
+	// several lines tie for the hottest count (map order is randomized).
+	lines := make([]Addr, 0, len(m.wear))
+	//bbbvet:ignore detlint key collection for sorting; order-insensitive
+	for a := range m.wear {
+		lines = append(lines, a)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	counts := make([]uint64, 0, len(lines))
+	for _, a := range lines {
+		n := m.wear[a]
 		s.TotalWrites += n
 		counts = append(counts, n)
 		if n > s.MaxWrites {

@@ -113,6 +113,7 @@ func (a *Arena) Allocations() []memory.Addr {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	out := make([]memory.Addr, 0, len(a.allocated))
+	//bbbvet:ignore detlint key collection; result is sorted before returning
 	for addr := range a.allocated {
 		out = append(out, addr)
 	}

@@ -55,6 +55,22 @@ func (c *Counters) String() string {
 	return b.String()
 }
 
+// StringWith renders the counters like String but annotates each line with
+// its meaning from doc (normally the package Glossary).
+func (c *Counters) StringWith(doc map[string]string) string {
+	var b strings.Builder
+	names := c.Names()
+	sort.Strings(names)
+	for _, n := range names {
+		if d := doc[n]; d != "" {
+			fmt.Fprintf(&b, "%-32s %12d  # %s\n", n, c.m[n], d)
+		} else {
+			fmt.Fprintf(&b, "%-32s %12d\n", n, c.m[n])
+		}
+	}
+	return b.String()
+}
+
 // Geomean returns the geometric mean of xs. It panics on an empty slice and
 // on non-positive values, which would indicate a broken normalization.
 func Geomean(xs []float64) float64 {

@@ -1,0 +1,136 @@
+// Package cyclelint flags arithmetic that mixes engine.Cycle values with
+// raw typed integers outside internal/engine.
+//
+// engine.Cycle is an alias of uint64, so the compiler happily lets a cycle
+// count flow into (or out of) any uint64 — which is exactly how latency
+// bookkeeping bugs hide: a byte count added to a deadline, a cycle delta
+// stored into a counter of events. The contract this pass enforces is the
+// same one time.Duration gets from the type system: crossing between
+// cycles and plain integers must be an explicit conversion at the boundary,
+// not an implicit mix inside an expression.
+//
+// Reported:
+//   - binary expressions (arithmetic or comparison) with a Cycle operand on
+//     one side and a typed non-Cycle integer on the other;
+//   - calls passing a Cycle value to a parameter declared as a plain
+//     integer type, or a typed plain integer to a Cycle parameter.
+//
+// Untyped constants are always fine (`lat + 2` stays idiomatic), and
+// explicit conversions (`uint64(lat)`) are the sanctioned crossing.
+package cyclelint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"bbb/internal/vet"
+)
+
+// Analyzer is the cyclelint pass.
+var Analyzer = &vet.Analyzer{
+	Name: "cyclelint",
+	Doc: `	cyclelint: engine.Cycle must not mix implicitly with raw integers.
+	Cycle counts cross into plain integer types (and back) only through
+	explicit conversions, outside internal/engine.`,
+	Run: run,
+}
+
+const enginePath = "bbb/internal/engine"
+
+func run(pass *vet.Pass) error {
+	path := pass.Pkg.ImportPath
+	if path == enginePath || strings.HasPrefix(path, "bbb/internal/vet") {
+		return nil
+	}
+	info := pass.TypesInfo()
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkBinary(pass, info, n)
+			case *ast.CallExpr:
+				checkCall(pass, info, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkBinary(pass *vet.Pass, info *types.Info, n *ast.BinaryExpr) {
+	switch n.Op {
+	case token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+		token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+	default:
+		return
+	}
+	x, y := info.Types[n.X], info.Types[n.Y]
+	switch {
+	case isCycle(x.Type) && isRawInt(y):
+		pass.Reportf(n.Y.Pos(), "engine.Cycle mixed with %s in %q expression; convert explicitly at the boundary", y.Type, n.Op)
+	case isCycle(y.Type) && isRawInt(x):
+		pass.Reportf(n.X.Pos(), "engine.Cycle mixed with %s in %q expression; convert explicitly at the boundary", x.Type, n.Op)
+	}
+}
+
+func checkCall(pass *vet.Pass, info *types.Info, call *ast.CallExpr) {
+	if info.Types[call.Fun].IsType() {
+		return // a conversion, the sanctioned crossing
+	}
+	sig, ok := info.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		if i >= sig.Params().Len() {
+			break // variadic tail; spread args are interface-ish in practice
+		}
+		param := sig.Params().At(i).Type()
+		if sig.Variadic() && i == sig.Params().Len()-1 {
+			break
+		}
+		at := info.Types[arg]
+		switch {
+		case isCycle(at.Type) && !isCycle(param) && isIntType(param) && !isUntyped(at):
+			pass.Reportf(arg.Pos(), "engine.Cycle argument passed to %s parameter %q; convert explicitly", param, sig.Params().At(i).Name())
+		case isCycle(param) && isRawInt(at):
+			pass.Reportf(arg.Pos(), "%s argument passed to engine.Cycle parameter %q; convert explicitly", at.Type, sig.Params().At(i).Name())
+		}
+	}
+}
+
+// isCycle reports whether t is (an alias chain ending at) engine.Cycle.
+func isCycle(t types.Type) bool {
+	for {
+		a, ok := t.(*types.Alias)
+		if !ok {
+			return false
+		}
+		obj := a.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == enginePath && obj.Name() == "Cycle" {
+			return true
+		}
+		t = a.Rhs()
+	}
+}
+
+// isRawInt reports whether tv is a typed integer that is not engine.Cycle —
+// the kind of operand that must not meet a Cycle implicitly.
+func isRawInt(tv types.TypeAndValue) bool {
+	if tv.Type == nil || isUntyped(tv) || isCycle(tv.Type) {
+		return false
+	}
+	return isIntType(tv.Type)
+}
+
+func isIntType(t types.Type) bool {
+	b, ok := types.Unalias(t).Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isUntyped(tv types.TypeAndValue) bool {
+	b, ok := tv.Type.(*types.Basic)
+	return ok && b.Info()&types.IsUntyped != 0 || tv.Value != nil
+}

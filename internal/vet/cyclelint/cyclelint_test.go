@@ -1,0 +1,12 @@
+package cyclelint_test
+
+import (
+	"testing"
+
+	"bbb/internal/vet"
+	"bbb/internal/vet/cyclelint"
+)
+
+func TestFixture(t *testing.T) {
+	vet.RunFixture(t, cyclelint.Analyzer, "testdata/cycles")
+}

@@ -1,0 +1,38 @@
+// Package cycles is the cyclelint fixture: every mixing of engine.Cycle
+// with raw typed integers below is either flagged (want) or sanctioned.
+package cycles
+
+import "bbb/internal/engine"
+
+func deadline(now, lat engine.Cycle) engine.Cycle {
+	return now + lat // both Cycle: fine
+}
+
+func arithmetic(now engine.Cycle, bytes uint64, n int) {
+	_ = now + bytes // want "engine.Cycle mixed with uint64"
+	_ = bytes < now // want "engine.Cycle mixed with uint64"
+	_ = now * 2     // untyped constant: fine
+	_ = now + engine.Cycle(bytes)
+	_ = uint64(now) + bytes
+	_ = n
+}
+
+func takesInt(n uint64) uint64           { return n }
+func takesCycle(c engine.Cycle) uint64   { return uint64(c) }
+func variadic(vs ...interface{}) int     { return len(vs) }
+func takesNamed(label string, n int) int { return n + len(label) }
+
+func calls(now engine.Cycle, bytes uint64) {
+	takesInt(now)     // want "engine.Cycle argument passed to uint64 parameter"
+	takesCycle(bytes) // want "uint64 argument passed to engine.Cycle parameter"
+	takesInt(uint64(now))
+	takesCycle(engine.Cycle(bytes))
+	takesCycle(5) // untyped constant: fine
+	variadic(now, bytes)
+	takesNamed("x", 3)
+}
+
+func justified(now engine.Cycle, n uint64) {
+	//bbbvet:ignore cyclelint fixture exercises suppression of a known mix
+	_ = now + n
+}

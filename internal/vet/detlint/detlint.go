@@ -1,0 +1,130 @@
+// Package detlint bans sources of nondeterminism in the simulator
+// packages. The discrete-event engine guarantees bit-identical runs for a
+// given seed — that property is what makes crash-injection tests, the
+// paper's figure reproductions, and cross-scheme comparisons meaningful —
+// and it survives only if no simulator code consults the wall clock,
+// unseeded randomness, or Go's randomized map iteration order in a way
+// that feeds simulated state or reported results.
+//
+// Reported, in simulator packages (bbb/internal/... except the tooling
+// under internal/vet):
+//
+//   - calls to time.Now, time.Since, time.Sleep, time.After, time.Tick,
+//     time.NewTimer, time.NewTicker (wall-clock time);
+//   - calls to math/rand (and math/rand/v2) package-level functions, which
+//     draw from the global, unseeded source — deterministic code must use
+//     a *rand.Rand built from a seeded rand.NewSource;
+//   - range statements over maps. Map iteration order is randomized per
+//     run; loops whose effects are order-sensitive (draining, stats
+//     selection, first-error reporting) must iterate sorted keys instead.
+//     Loops that are genuinely order-insensitive (pure reductions like
+//     sum/max-with-deterministic-tiebreak) are suppressed case by case
+//     with //bbbvet:ignore detlint <why the order cannot matter>.
+package detlint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"bbb/internal/vet"
+)
+
+// Analyzer is the detlint pass.
+var Analyzer = &vet.Analyzer{
+	Name: "detlint",
+	Doc: `	detlint: no nondeterminism in simulator packages.
+	Bans wall-clock time, the global math/rand source, and map-order
+	iteration in bbb/internal/... so simulations stay bit-reproducible.`,
+	Run: run,
+}
+
+// bannedFuncs maps package path -> function name -> replacement advice.
+var bannedFuncs = map[string]map[string]string{
+	"time": {
+		"Now":       "use engine.Engine.Now (simulated cycles), not the wall clock",
+		"Since":     "use engine cycle deltas, not the wall clock",
+		"Sleep":     "schedule an engine event instead of sleeping",
+		"After":     "schedule an engine event instead of timer channels",
+		"Tick":      "use engine.Engine.Ticker",
+		"NewTimer":  "use engine.Engine.Schedule",
+		"NewTicker": "use engine.Engine.Ticker",
+	},
+	"math/rand":    nil, // package-level funcs draw the global source
+	"math/rand/v2": nil,
+}
+
+// randConstructors are the math/rand package-level functions that build
+// seeded generators rather than drawing from the global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2
+}
+
+func run(pass *vet.Pass) error {
+	if !simulatorPackage(pass.Pkg.ImportPath) {
+		return nil
+	}
+	info := pass.TypesInfo()
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, info, n)
+			case *ast.RangeStmt:
+				checkRange(pass, info, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// simulatorPackage reports whether detlint's rules apply to path. The
+// fixture/ prefix keeps the analyzer testable on testdata packages.
+func simulatorPackage(path string) bool {
+	if strings.HasPrefix(path, "bbb/internal/vet") {
+		return false
+	}
+	return strings.HasPrefix(path, "bbb/internal/") || strings.HasPrefix(path, "fixture/")
+}
+
+func checkCall(pass *vet.Pass, info *types.Info, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods (e.g. on a seeded *rand.Rand) are fine
+	}
+	pkgPath := fn.Pkg().Path()
+	names, banned := bannedFuncs[pkgPath]
+	if !banned {
+		return
+	}
+	if names == nil { // whole package banned, minus seeded constructors
+		if !randConstructors[fn.Name()] {
+			pass.Reportf(call.Pos(), "call to %s.%s draws the global (unseeded) source; use a *rand.Rand from rand.NewSource(seed)", pkgPath, fn.Name())
+		}
+		return
+	}
+	if advice, hit := names[fn.Name()]; hit {
+		pass.Reportf(call.Pos(), "call to %s.%s is nondeterministic in simulation: %s", pkgPath, fn.Name(), advice)
+	}
+}
+
+func checkRange(pass *vet.Pass, info *types.Info, n *ast.RangeStmt) {
+	tv, ok := info.Types[n.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isMap := types.Unalias(tv.Type).Underlying().(*types.Map); !isMap {
+		return
+	}
+	pass.Reportf(n.Range, "range over map has nondeterministic order; iterate sorted keys (or justify with //bbbvet:ignore detlint <reason>)")
+}

@@ -1,0 +1,12 @@
+package detlint_test
+
+import (
+	"testing"
+
+	"bbb/internal/vet"
+	"bbb/internal/vet/detlint"
+)
+
+func TestFixture(t *testing.T) {
+	vet.RunFixture(t, detlint.Analyzer, "testdata/det")
+}

@@ -1,0 +1,57 @@
+// Package det is the detlint fixture: wall-clock time, the global
+// math/rand source, and map-order iteration are flagged; seeded generators
+// and justified loops are not.
+package det
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want "call to time.Now is nondeterministic"
+}
+
+func sleepy() {
+	time.Sleep(time.Second) // want "call to time.Sleep is nondeterministic"
+}
+
+func globalSource() int {
+	return rand.Intn(10) // want "draws the global \\(unseeded\\) source"
+}
+
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // constructors build seeded sources: fine
+	return r.Intn(10)                   // methods on a seeded *rand.Rand: fine
+}
+
+func mapRange(m map[int]int) int {
+	s := 0
+	for _, v := range m { // want "range over map has nondeterministic order"
+		s += v
+	}
+	return s
+}
+
+func sliceRange(xs []int) int {
+	s := 0
+	for _, v := range xs { // slices have deterministic order: fine
+		s += v
+	}
+	return s
+}
+
+func justified(m map[int]int) int {
+	n := 0
+	//bbbvet:ignore detlint pure count; iteration order cannot matter
+	for range m {
+		n++
+	}
+	return n
+}
+
+func allSuppressed(m map[int]int) {
+	//bbbvet:ignore all fixture exercises the blanket suppression
+	for range m {
+	}
+}

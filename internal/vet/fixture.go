@@ -1,0 +1,99 @@
+package vet
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+// wantRe extracts the quoted patterns of a `// want "re" "re"` expectation.
+var wantRe = regexp.MustCompile(`//\s*want((?:\s+"(?:[^"\\]|\\.)*")+)`)
+
+var quotedRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// expectation is one `// want "re"` waiting to be matched.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// RunFixture loads the testdata package in dir, runs a over it, and
+// compares the diagnostics against `// want "regexp"` comments in the
+// fixture sources — the same convention as x/tools' analysistest. A line
+// may carry several quoted patterns; each must be matched by a distinct
+// diagnostic on that line, every diagnostic must match some pattern, and
+// every pattern must be used.
+func RunFixture(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	pkg, fset, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range quotedRe.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+				}
+			}
+		}
+	}
+
+	diags, err := Run([]*Package{pkg}, fset, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// claim marks the first unhit expectation on d's line whose pattern
+// matches, reporting whether one existed.
+func claim(wants []*expectation, d Diagnostic) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// FixtureDiagnostics runs a over the testdata package in dir and returns
+// the raw diagnostics, for tests asserting on module-wide (Finish)
+// output whose positions span files.
+func FixtureDiagnostics(a *Analyzer, dir string) ([]Diagnostic, error) {
+	pkg, fset, err := LoadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("loading fixture %s: %w", dir, err)
+	}
+	return Run([]*Package{pkg}, fset, []*Analyzer{a})
+}

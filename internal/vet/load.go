@@ -1,0 +1,161 @@
+package vet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded, parsed and type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Standard   bool
+}
+
+// Load enumerates the packages matching patterns with the go command,
+// parses their non-test sources (comments included, so directive comments
+// are visible to analyzers), and type-checks each against a shared
+// source-level importer. The importer resolves both standard-library and
+// module-internal dependencies from source, so loading is fully hermetic:
+// no network, no export data, no x/tools.
+//
+// dir is the directory to run `go list` in ("" for the current one).
+func Load(dir string, patterns ...string) ([]*Package, *token.FileSet, error) {
+	metas, err := goList(dir, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	fset := token.NewFileSet()
+	// The source importer type-checks each dependency once and caches it;
+	// sharing one instance (and one FileSet) across every analyzed package
+	// keeps positions coherent and avoids re-checking shared deps.
+	deps := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+
+	var pkgs []*Package
+	for _, m := range metas {
+		if m.Standard || len(m.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := checkPackage(fset, deps, m.Dir, m.ImportPath, m.GoFiles)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, fset, nil
+}
+
+// LoadDir parses and type-checks the .go files directly inside dir as a
+// single package, with imports (including module-internal ones) resolved
+// from source. Fixture tests use it to load testdata packages that are not
+// part of the module proper.
+func LoadDir(dir string) (*Package, *token.FileSet, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	files, err := filepath.Glob(filepath.Join(abs, "*.go"))
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(files) == 0 {
+		return nil, nil, fmt.Errorf("vet: no .go files in %s", abs)
+	}
+	names := make([]string, len(files))
+	for i, f := range files {
+		names[i] = filepath.Base(f)
+	}
+	fset := token.NewFileSet()
+	deps := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	pkg, err := checkPackage(fset, deps, abs, "fixture/"+filepath.Base(abs), names)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, fset, nil
+}
+
+func checkPackage(fset *token.FileSet, deps types.ImporterFrom, dir, importPath string, fileNames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("vet: parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: importerFrom{deps, dir},
+	}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("vet: type-check %s: %w", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// importerFrom adapts an ImporterFrom into a plain Importer anchored at a
+// directory, so relative (module-internal) import resolution works.
+type importerFrom struct {
+	from types.ImporterFrom
+	dir  string
+}
+
+func (i importerFrom) Import(path string) (*types.Package, error) {
+	return i.from.ImportFrom(path, i.dir, 0)
+}
+
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("vet: go list %v: %v\n%s", patterns, err, errb.String())
+	}
+	var metas []listedPackage
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		var m listedPackage
+		if err := dec.Decode(&m); err != nil {
+			return nil, fmt.Errorf("vet: decode go list output: %w", err)
+		}
+		metas = append(metas, m)
+	}
+	return metas, nil
+}

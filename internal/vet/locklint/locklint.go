@@ -1,0 +1,156 @@
+// Package locklint enforces the repository's lock-annotation discipline
+// for transaction-guarded simulator state, in the style of Clang's
+// thread-safety annotations.
+//
+// The coherence hierarchy serializes all protocol work on a cache line
+// behind a per-line transaction lock (lineLock): directory entries and
+// their sharer/owner fields must only be touched between acquire and
+// release, or at quiescence (no transaction in flight, e.g. crash drains
+// and invariant walks). The persist buffers have the analogous contract
+// for their entry lists. The compiler cannot see any of this — locklint
+// makes it machine-checked:
+//
+//   - A struct field carrying a `bbbvet:guarded <lock>` marker in its doc
+//     or trailing comment is guarded state.
+//   - Every function whose body reads or writes a guarded field (including
+//     through composite literals and closures) must declare the contract
+//     in its doc comment: `//bbbvet:locked <lock>` for code running inside
+//     the lock's scope, or `//bbbvet:quiescent <reason>` for code that
+//     runs only while the system is quiescent.
+//
+// Function literals inherit the enclosing declaration's annotations, so
+// transaction callbacks passed to acquire() are covered by annotating the
+// method that creates them. Guarded fields are unexported, so the check is
+// intra-package; the annotation's value is that any future access added
+// without thinking about the locking contract fails `bbbvet` until its
+// function declares (and its author confirms) the scope it runs in.
+package locklint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"bbb/internal/vet"
+)
+
+// Analyzer is the locklint pass.
+var Analyzer = &vet.Analyzer{
+	Name: "locklint",
+	Doc: `	locklint: guarded-state annotation checking.
+	Fields marked 'bbbvet:guarded <lock>' may only be accessed in
+	functions annotated '//bbbvet:locked <lock>' or '//bbbvet:quiescent'.`,
+	Run: run,
+}
+
+const (
+	guardedMarker   = "bbbvet:guarded"
+	lockedMarker    = "//bbbvet:locked"
+	quiescentMarker = "//bbbvet:quiescent"
+)
+
+func run(pass *vet.Pass) error {
+	info := pass.TypesInfo()
+
+	// Collect guarded fields: types.Var -> lock name.
+	guarded := make(map[*types.Var]string)
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				lock := guardMarkerIn(field.Doc)
+				if lock == "" {
+					lock = guardMarkerIn(field.Comment)
+				}
+				if lock == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := info.Defs[name].(*types.Var); ok {
+						guarded[v] = lock
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(guarded) == 0 {
+		return nil
+	}
+
+	// Check every function body's guarded accesses against its annotations.
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			locks, quiescent := funcAnnotations(fn)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				v, ok := info.Uses[id].(*types.Var)
+				if !ok {
+					return true
+				}
+				lock, isGuarded := guarded[v]
+				if !isGuarded || quiescent || locks[lock] {
+					return true
+				}
+				pass.Reportf(id.Pos(), "%s accesses %q (guarded by %s) without a //bbbvet:locked %s or //bbbvet:quiescent annotation",
+					funcLabel(fn), id.Name, lock, lock)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// guardMarkerIn extracts the lock name from a 'bbbvet:guarded <lock>'
+// marker in a comment group, or "" if absent.
+func guardMarkerIn(cg *ast.CommentGroup) string {
+	if cg == nil {
+		return ""
+	}
+	for _, c := range cg.List {
+		if i := strings.Index(c.Text, guardedMarker); i >= 0 {
+			fields := strings.Fields(c.Text[i+len(guardedMarker):])
+			if len(fields) > 0 {
+				return fields[0]
+			}
+		}
+	}
+	return ""
+}
+
+// funcAnnotations parses the locked/quiescent directives from a function's
+// doc comment.
+func funcAnnotations(fn *ast.FuncDecl) (locks map[string]bool, quiescent bool) {
+	locks = make(map[string]bool)
+	if fn.Doc == nil {
+		return locks, false
+	}
+	for _, c := range fn.Doc.List {
+		switch {
+		case strings.HasPrefix(c.Text, lockedMarker):
+			for _, l := range strings.Fields(strings.TrimPrefix(c.Text, lockedMarker)) {
+				locks[l] = true
+			}
+		case strings.HasPrefix(c.Text, quiescentMarker):
+			quiescent = true
+		}
+	}
+	return locks, quiescent
+}
+
+func funcLabel(fn *ast.FuncDecl) string {
+	if fn.Recv != nil && len(fn.Recv.List) > 0 {
+		return "method " + fn.Name.Name
+	}
+	return "function " + fn.Name.Name
+}

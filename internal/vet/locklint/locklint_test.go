@@ -1,0 +1,12 @@
+package locklint_test
+
+import (
+	"testing"
+
+	"bbb/internal/vet"
+	"bbb/internal/vet/locklint"
+)
+
+func TestFixture(t *testing.T) {
+	vet.RunFixture(t, locklint.Analyzer, "testdata/locks")
+}

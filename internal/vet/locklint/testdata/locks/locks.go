@@ -1,0 +1,39 @@
+// Package locks is the locklint fixture: accesses to the guarded field
+// are flagged unless the enclosing declaration carries a locked or
+// quiescent annotation (closures inherit the enclosing declaration's).
+package locks
+
+type table struct {
+	entries map[int]int // bbbvet:guarded mu
+	name    string
+}
+
+//bbbvet:locked mu
+func (t *table) get(k int) int { return t.entries[k] }
+
+//bbbvet:quiescent snapshot runs after shutdown, no lock exists anymore
+func (t *table) snapshot() map[int]int { return t.entries }
+
+func (t *table) label() string { return t.name } // unguarded field: fine
+
+func (t *table) bad(k int) int {
+	return t.entries[k] // want "method bad accesses .entries. \\(guarded by mu\\)"
+}
+
+func alsoBad(t *table) {
+	t.entries = nil // want "function alsoBad accesses .entries."
+}
+
+//bbbvet:locked mu
+func closures(t *table) func() int {
+	return func() int { return t.entries[0] } // inherits the annotation: fine
+}
+
+func badClosure(t *table) func() int {
+	return func() int { return t.entries[0] } // want "function badClosure accesses .entries."
+}
+
+//bbbvet:locked other
+func wrongLock(t *table) int {
+	return t.entries[0] // want "without a //bbbvet:locked mu"
+}

@@ -1,0 +1,12 @@
+package statlint_test
+
+import (
+	"testing"
+
+	"bbb/internal/vet"
+	"bbb/internal/vet/statlint"
+)
+
+func TestFixture(t *testing.T) {
+	vet.RunFixture(t, statlint.Analyzer, "testdata/counterfix")
+}

@@ -1,0 +1,33 @@
+// Package counterfix is the statlint fixture: a self-contained counter
+// namespace with its own Glossary registry, exercising all three
+// diagnostics (dead counter, read-side typo, stale registration) plus the
+// suffix matching for prefixed families.
+package counterfix
+
+import "bbb/internal/stats"
+
+// Glossary registers this fixture's counters; statlint treats any
+// package-level Glossary map literal as a registry.
+var Glossary = map[string]string{
+	"ops.documented": "documented and incremented: consumed via the registry",
+	"ops.stale":      "nothing increments this name", // want "stats.Glossary documents .ops.stale. but nothing increments it"
+}
+
+type engine struct {
+	c *stats.Counters
+}
+
+func (e *engine) prefixed(suffix string) string { return "stage." + suffix }
+
+func (e *engine) work() {
+	e.c.Inc("ops.documented")   // in the Glossary: fine
+	e.c.Inc("ops.read")         // Get below: fine
+	e.c.Inc("ops.dead")         // want "counter .ops.dead. is incremented but never read and not documented"
+	e.c.Add("ops.batch", 3)     // Get below: fine
+	e.c.Inc(e.prefixed("done")) // nested literal: satisfies the stage.done read
+}
+
+func (e *engine) report() uint64 {
+	total := e.c.Get("ops.read") + e.c.Get("ops.batch") + e.c.Get("stage.done")
+	return total + e.c.Get("ops.typo") // want "counter .ops.typo. is read but never incremented"
+}

@@ -1,0 +1,8 @@
+// Package ignoremalformed carries an ignore directive with no reason,
+// which bbbvet must itself report.
+package ignoremalformed
+
+//bbbvet:ignore locklint
+var x = 1
+
+var _ = x

@@ -1,0 +1,185 @@
+// Package vet is a small, dependency-free analysis framework modelled on
+// golang.org/x/tools/go/analysis, built only on the standard library's
+// go/ast, go/parser and go/types. It exists because this repository's
+// correctness tooling (cmd/bbbvet) must run hermetically — no module
+// downloads — and the x/tools module is not vendored.
+//
+// The API mirrors the shape of go/analysis so the custom passes
+// (locklint, detlint, statlint, cyclelint) could be ported to the real
+// framework verbatim if the dependency ever becomes available:
+//
+//   - An Analyzer bundles a name, doc string and a Run function.
+//   - Run receives a Pass holding one fully type-checked package and
+//     reports Diagnostics through Pass.Report.
+//   - Analyzers needing a whole-module view (statlint's dead-counter
+//     pairing) additionally implement Finish, which runs once after every
+//     package pass with all passes visible.
+//
+// Suppression: a diagnostic is dropped when the offending line (or the
+// line above it) carries a comment of the form
+//
+//	//bbbvet:ignore <analyzer> <reason>
+//
+// The reason is mandatory; an ignore directive without one is itself
+// reported. This keeps every escape hatch self-documenting.
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one analysis pass.
+type Analyzer struct {
+	// Name identifies the pass in diagnostics and ignore directives.
+	Name string
+	// Doc is a one-paragraph description shown by `bbbvet -help`.
+	Doc string
+	// Run performs the per-package analysis.
+	Run func(*Pass) error
+	// Finish, if non-nil, runs once after Run has been called for every
+	// package, with every pass visible; it reports module-wide findings
+	// (diagnostics anchored to positions recorded during Run).
+	Finish func(all []*Pass) []Diagnostic
+}
+
+// A Pass presents one type-checked package to an Analyzer's Run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package
+
+	// Facts is scratch state Run can leave behind for Finish.
+	Facts any
+
+	diags *[]Diagnostic
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypesInfo returns the package's type information.
+func (p *Pass) TypesInfo() *types.Info { return p.Pkg.Info }
+
+// Files returns the package's syntax trees.
+func (p *Pass) Files() []*ast.File { return p.Pkg.Files }
+
+// Run executes every analyzer over every package and returns the surviving
+// (non-suppressed) diagnostics sorted by position, plus any ignore
+// directives that lack a reason.
+func Run(pkgs []*Package, fset *token.FileSet, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	byAnalyzer := make(map[*Analyzer][]*Pass)
+	for _, a := range analyzers {
+		for _, pkg := range pkgs {
+			pass := &Pass{Analyzer: a, Fset: fset, Pkg: pkg, diags: &diags}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+			}
+			byAnalyzer[a] = append(byAnalyzer[a], pass)
+		}
+	}
+	for _, a := range analyzers {
+		if a.Finish != nil {
+			diags = append(diags, a.Finish(byAnalyzer[a])...)
+		}
+	}
+	ig := newIgnoreIndex(pkgs, fset)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !ig.suppressed(d) {
+			kept = append(kept, d)
+		}
+	}
+	kept = append(kept, ig.malformed...)
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i].Pos, kept[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return kept, nil
+}
+
+// ignoreIndex maps file → line → set of analyzer names suppressed there.
+type ignoreIndex struct {
+	lines     map[string]map[int]map[string]bool
+	malformed []Diagnostic
+}
+
+const ignorePrefix = "//bbbvet:ignore"
+
+func newIgnoreIndex(pkgs []*Package, fset *token.FileSet) *ignoreIndex {
+	ig := &ignoreIndex{lines: make(map[string]map[int]map[string]bool)}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, ignorePrefix) {
+						continue
+					}
+					rest := strings.TrimPrefix(c.Text, ignorePrefix)
+					fields := strings.Fields(rest)
+					pos := fset.Position(c.Pos())
+					if len(fields) < 2 {
+						ig.malformed = append(ig.malformed, Diagnostic{
+							Analyzer: "bbbvet",
+							Pos:      pos,
+							Message:  "malformed ignore directive: want //bbbvet:ignore <analyzer> <reason>",
+						})
+						continue
+					}
+					name := fields[0]
+					byLine := ig.lines[pos.Filename]
+					if byLine == nil {
+						byLine = make(map[int]map[string]bool)
+						ig.lines[pos.Filename] = byLine
+					}
+					// The directive covers its own line and the next one, so
+					// it works both as a trailing and a preceding comment.
+					for _, ln := range []int{pos.Line, pos.Line + 1} {
+						if byLine[ln] == nil {
+							byLine[ln] = make(map[string]bool)
+						}
+						byLine[ln][name] = true
+					}
+				}
+			}
+		}
+	}
+	return ig
+}
+
+func (ig *ignoreIndex) suppressed(d Diagnostic) bool {
+	byLine := ig.lines[d.Pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	set := byLine[d.Pos.Line]
+	return set[d.Analyzer] || set["all"]
+}

@@ -1,0 +1,40 @@
+package vet_test
+
+import (
+	"strings"
+	"testing"
+
+	"bbb/internal/vet"
+)
+
+// TestMalformedIgnoreReported checks the framework's own escape-hatch
+// rule: an ignore directive without a reason is itself a finding.
+func TestMalformedIgnoreReported(t *testing.T) {
+	noop := &vet.Analyzer{Name: "noop", Run: func(*vet.Pass) error { return nil }}
+	diags, err := vet.FixtureDiagnostics(noop, "testdata/ignoremalformed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	if d := diags[0]; d.Analyzer != "bbbvet" || !strings.Contains(d.Message, "malformed ignore directive") {
+		t.Fatalf("unexpected diagnostic: %s", d)
+	}
+}
+
+// TestLoadModulePackages smoke-tests the hermetic loader against the real
+// module: the engine package must load, type-check, and expose its types.
+func TestLoadModulePackages(t *testing.T) {
+	pkgs, _, err := vet.Load("", "bbb/internal/engine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.ImportPath != "bbb/internal/engine" || p.Types == nil || p.Types.Scope().Lookup("Engine") == nil {
+		t.Fatalf("engine package loaded incompletely: %+v", p.ImportPath)
+	}
+}

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"bbb/internal/engine"
 	"bbb/internal/palloc"
 	"bbb/internal/persistency"
 	"bbb/internal/system"
@@ -30,7 +31,7 @@ func Run(w Workload, s persistency.Scheme, cfg system.Config, p Params) system.R
 // RunToCrash executes the workload, crashes it at crashCycle (or lets it
 // finish if it completes first), performs the scheme's flush-on-fail, and
 // returns the machine for image inspection plus the drain report.
-func RunToCrash(w Workload, s persistency.Scheme, cfg system.Config, p Params, crashCycle uint64) (*system.System, persistency.DrainReport, bool) {
+func RunToCrash(w Workload, s persistency.Scheme, cfg system.Config, p Params, crashCycle engine.Cycle) (*system.System, persistency.DrainReport, bool) {
 	sys, progs := Build(w, s, cfg, p)
 	finished := sys.RunUntil(crashCycle, progs)
 	rep := sys.Crash()

@@ -20,6 +20,7 @@ import (
 	"math/rand"
 
 	"bbb/internal/cpu"
+	"bbb/internal/engine"
 	"bbb/internal/memory"
 	"bbb/internal/palloc"
 	"bbb/internal/system"
@@ -128,7 +129,7 @@ func volatileWork(e cpu.Env, thread, n int, r *rand.Rand) {
 	}
 	if n > 0 {
 		cpu.Load64(e, base)
-		e.Compute(4 * uint64(n))
+		e.Compute(engine.Cycle(4 * n))
 	}
 }
 

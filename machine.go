@@ -103,7 +103,7 @@ func (m *Machine) RunPrograms(programs ...func(Env)) Result {
 // scheme's flush-on-fail drain, leaving the durable image exactly as
 // recovery would find it. It reports whether the programs finished first
 // and what the battery had to drain.
-func (m *Machine) RunUntilCrash(crashCycle uint64, programs ...func(Env)) (finished bool, drained persistency.DrainReport) {
+func (m *Machine) RunUntilCrash(crashCycle Cycle, programs ...func(Env)) (finished bool, drained persistency.DrainReport) {
 	if len(programs) != m.sys.Cfg.Cores {
 		panic(fmt.Sprintf("bbb: %d programs for %d cores (set Options.Threads)", len(programs), m.sys.Cfg.Cores))
 	}
