@@ -14,7 +14,7 @@ test:
 	$(GO) test ./...
 
 # Static analysis: go vet plus the project's bbbvet suite
-# (locklint, detlint, statlint, cyclelint).
+# (locklint, detlint, statlint, cyclelint, persistlint).
 vet:
 	$(GO) vet ./...
 	$(GO) run ./cmd/bbbvet ./...

@@ -2,20 +2,27 @@
 // enforces the persistency-contract and determinism rules the simulator
 // relies on but the Go compiler cannot check:
 //
-//	locklint   lineLock-guarded state touched outside annotated scopes
-//	detlint    nondeterminism in simulator packages (wall clock, global
-//	           rand, map-order-dependent loops)
-//	statlint   counter names that are read but never incremented (typos)
-//	           or incremented but never consumed
-//	cyclelint  engine.Cycle values mixed with raw integer variables
+//	locklint     lineLock-guarded state touched outside annotated scopes
+//	detlint      nondeterminism in simulator packages (wall clock, global
+//	             rand, host-environment probes, map-order-dependent loops)
+//	statlint     counter names that are read but never incremented (typos)
+//	             or incremented but never consumed
+//	cyclelint    engine.Cycle values mixed with raw integer variables
+//	persistlint  flow-sensitive persist-ordering analysis of simulated
+//	             programs: commit stores before their dependees are
+//	             durable, redundant flushes/fences/barriers, and programs
+//	             that never persist their stores
 //
 // Usage:
 //
-//	go run ./cmd/bbbvet ./...
+//	go run ./cmd/bbbvet [-only analyzer] [-json] ./...
 //
-// Exit status is non-zero when any diagnostic is reported. Individual
-// findings are suppressed with `//bbbvet:ignore <analyzer> <reason>` on
-// (or directly above) the offending line.
+// Exit status is non-zero when any non-suppressed diagnostic is reported.
+// Individual findings are suppressed with `//bbbvet:ignore <analyzer>
+// <reason>` (line or /*...*/ block form) on or directly above the
+// offending line. With -json, every finding — including suppressed ones,
+// marked "ignored":true — is printed as one JSON object per line with
+// keys file, line, analyzer, message, ignored.
 package main
 
 import (
@@ -27,14 +34,17 @@ import (
 	"bbb/internal/vet/cyclelint"
 	"bbb/internal/vet/detlint"
 	"bbb/internal/vet/locklint"
+	"bbb/internal/vet/persistlint"
 	"bbb/internal/vet/statlint"
 )
 
 func main() {
 	var only string
-	flag.StringVar(&only, "only", "", "run a single analyzer (locklint, detlint, statlint, cyclelint)")
+	var asJSON bool
+	flag.StringVar(&only, "only", "", "run a single analyzer (locklint, detlint, statlint, cyclelint, persistlint)")
+	flag.BoolVar(&asJSON, "json", false, "emit one JSON object per finding (including ignored ones)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: bbbvet [-only analyzer] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: bbbvet [-only analyzer] [-json] [packages]\n\n")
 		for _, a := range analyzers() {
 			fmt.Fprintf(flag.CommandLine.Output(), "%s\n%s\n\n", a.Name, a.Doc)
 		}
@@ -66,15 +76,31 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bbbvet: %v\n", err)
 		os.Exit(2)
 	}
-	diags, err := vet.Run(pkgs, fset, selected)
+	diags, err := vet.RunAll(pkgs, fset, selected)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bbbvet: %v\n", err)
 		os.Exit(2)
 	}
+
+	failing := 0
 	for _, d := range diags {
-		fmt.Println(d)
+		if !d.Ignored {
+			failing++
+		}
 	}
-	if len(diags) > 0 {
+	if asJSON {
+		if err := vet.WriteJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "bbbvet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			if !d.Ignored {
+				fmt.Println(d)
+			}
+		}
+	}
+	if failing > 0 {
 		os.Exit(1)
 	}
 }
@@ -85,5 +111,6 @@ func analyzers() []*vet.Analyzer {
 		detlint.Analyzer,
 		statlint.Analyzer,
 		cyclelint.Analyzer,
+		persistlint.Analyzer,
 	}
 }

@@ -73,7 +73,7 @@ func main() {
 				e.Store(rec+offMagic, 8, magicRec)
 				// Publish with one store. No barrier anywhere: BBB already
 				// persists in program order.
-				e.Store(cell, 8, uint64(rec))
+				e.Store(cell, 8, uint64(rec)) //bbbvet:commit-store rec
 			}
 		}
 	}

@@ -51,7 +51,7 @@ func main() {
 				for {
 					cur := e.Load(head, 8)
 					e.Store(node+offNext, 8, cur)
-					if _, ok := e.CompareAndSwap(head, 8, cur, uint64(node)); ok {
+					if _, ok := e.CompareAndSwap(head, 8, cur, uint64(node)); ok { //bbbvet:commit-store node
 						break
 					}
 				}

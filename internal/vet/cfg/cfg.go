@@ -1,0 +1,338 @@
+// Package cfg builds intraprocedural control-flow graphs over go/ast
+// function bodies, using only the standard library — the structural layer
+// persistlint's flow-sensitive analysis runs on (see internal/vet for why
+// x/tools cannot be used here).
+//
+// A Graph is a set of basic blocks. Each block carries the *atomic* nodes
+// executed when control passes through it — simple statements plus the
+// condition/tag expressions of the control statement that ends it — in
+// source order. Bodies of nested control statements live in their own
+// blocks; a *ast.RangeStmt appears as its own node in the loop-head block
+// (clients must look only at its X/Key/Value, never its Body). Function
+// literals are opaque: they are carried as ordinary nodes of the block
+// that evaluates them, and their bodies are not traversed — a client
+// analyzing closures builds a separate Graph per FuncLit.
+//
+// The builder is syntactic and over-approximate: infeasible paths (e.g. a
+// condition that is constant-false) are kept, panics are ignored, and a
+// `select` without default still gets an exit edge. That is the right
+// trade-off for a may/must dataflow client — extra edges only ever make
+// its verdicts more conservative.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A Block is one straight-line run of atomic nodes.
+type Block struct {
+	// Index is the block's position in Graph.Blocks (creation order, which
+	// is also a stable source-ish order for deterministic iteration).
+	Index int
+	// Nodes are the atomic statements and control expressions executed in
+	// this block, in source order.
+	Nodes []ast.Node
+	// Succs and Preds are the flow edges.
+	Succs []*Block
+	Preds []*Block
+}
+
+// A Graph is the control-flow graph of one function body.
+type Graph struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+// New builds the control-flow graph of body.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{graph: &Graph{}, labels: make(map[string]*Block)}
+	b.graph.Entry = b.newBlock()
+	b.graph.Exit = b.newBlock()
+	b.cur = b.graph.Entry
+	b.stmtList(body.List)
+	b.edge(b.cur, b.graph.Exit)
+	for _, g := range b.gotos {
+		if target, ok := b.labels[g.label]; ok {
+			b.edge(g.from, target)
+		}
+		// An unresolved goto (syntactically impossible in type-checked
+		// code) just dead-ends, which is conservative for forward flow.
+	}
+	return b.graph
+}
+
+// frame tracks the jump targets a break/continue/fallthrough resolves to.
+type frame struct {
+	label      string // loop/switch label, "" if none
+	breakTo    *Block
+	continueTo *Block // nil for switch/select frames
+	fallTo     *Block // next case block, switch frames only
+}
+
+type pendingGoto struct {
+	label string
+	from  *Block
+}
+
+type builder struct {
+	graph        *Graph
+	cur          *Block
+	frames       []*frame
+	labels       map[string]*Block
+	gotos        []pendingGoto
+	pendingLabel string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.graph.Blocks)}
+	b.graph.Blocks = append(b.graph.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+func (b *builder) add(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// takeLabel consumes the label of an enclosing LabeledStmt, if any.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// dead parks the builder on an unreachable block (after return/break/...).
+func (b *builder) dead() {
+	b.cur = b.newBlock()
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		lb := b.newBlock()
+		b.edge(b.cur, lb)
+		b.cur = lb
+		b.labels[s.Label.Name] = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		after := b.newBlock()
+		then := b.newBlock()
+		b.edge(cond, then)
+		b.cur = then
+		b.stmt(s.Body)
+		b.edge(b.cur, after)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(cond, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		after := b.newBlock()
+		if s.Cond != nil {
+			b.edge(head, after) // condition false
+		}
+		backTo := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			backTo = post
+		}
+		body := b.newBlock()
+		b.edge(head, body)
+		b.frames = append(b.frames, &frame{label: label, breakTo: after, continueTo: backTo})
+		b.cur = body
+		b.stmt(s.Body)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.edge(b.cur, backTo)
+		if post != nil {
+			b.cur = post
+			b.stmt(s.Post)
+			b.edge(b.cur, head)
+		}
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		head.Nodes = append(head.Nodes, s) // clients read X/Key/Value only
+		after := b.newBlock()
+		b.edge(head, after) // range exhausted (possibly immediately)
+		body := b.newBlock()
+		b.edge(head, body)
+		b.frames = append(b.frames, &frame{label: label, breakTo: after, continueTo: head})
+		b.cur = body
+		b.stmt(s.Body)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.edge(b.cur, head)
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		b.caseSwitch(s, s.Init, s.Tag, s.Body)
+
+	case *ast.TypeSwitchStmt:
+		b.caseSwitch(s, s.Init, nil, s.Body)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.cur
+		after := b.newBlock()
+		b.frames = append(b.frames, &frame{label: label, breakTo: after})
+		for _, clause := range s.Body.List {
+			cc := clause.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(head, blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.edge(b.cur, after)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.graph.Exit)
+		b.dead()
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	default:
+		// Simple statements: assignments, expression statements, declarations,
+		// inc/dec, send, go, defer, empty. Atomic nodes of the current block.
+		if s != nil {
+			if _, empty := s.(*ast.EmptyStmt); !empty {
+				b.add(s)
+			}
+		}
+	}
+}
+
+// caseSwitch builds both expression and type switches; assign is the
+// TypeSwitchStmt's Assign statement carried as a head node via init.
+func (b *builder) caseSwitch(s ast.Stmt, init ast.Stmt, tag ast.Expr, body *ast.BlockStmt) {
+	label := b.takeLabel()
+	if init != nil {
+		b.stmt(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	if ts, ok := s.(*ast.TypeSwitchStmt); ok {
+		b.add(ts.Assign)
+	}
+	head := b.cur
+	after := b.newBlock()
+	clauses := body.List
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, clause := range clauses {
+		cc := clause.(*ast.CaseClause)
+		// Case expressions are evaluated while selecting a clause: they
+		// belong to the head block.
+		for _, e := range cc.List {
+			head.Nodes = append(head.Nodes, e)
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		blocks[i] = b.newBlock()
+		b.edge(head, blocks[i])
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	fr := &frame{label: label, breakTo: after}
+	b.frames = append(b.frames, fr)
+	for i, clause := range clauses {
+		cc := clause.(*ast.CaseClause)
+		if i+1 < len(blocks) {
+			fr.fallTo = blocks[i+1]
+		} else {
+			fr.fallTo = after
+		}
+		b.cur = blocks[i]
+		b.stmtList(cc.Body)
+		b.edge(b.cur, after)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+func (b *builder) branch(s *ast.BranchStmt) {
+	name := ""
+	if s.Label != nil {
+		name = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if name == "" || f.label == name {
+				b.edge(b.cur, f.breakTo)
+				break
+			}
+		}
+	case token.CONTINUE:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if f.continueTo != nil && (name == "" || f.label == name) {
+				b.edge(b.cur, f.continueTo)
+				break
+			}
+		}
+	case token.GOTO:
+		b.gotos = append(b.gotos, pendingGoto{label: name, from: b.cur})
+	case token.FALLTHROUGH:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			if f := b.frames[i]; f.fallTo != nil {
+				b.edge(b.cur, f.fallTo)
+				break
+			}
+		}
+	}
+	b.dead()
+}

@@ -1,0 +1,246 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// build parses src as a file, finds function f, and builds its graph.
+func build(t *testing.T, src string) *Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			return New(fd.Body)
+		}
+	}
+	t.Fatal("no function f in source")
+	return nil
+}
+
+// reachable returns the set of blocks reachable from g.Entry.
+func reachable(g *Graph) map[*Block]bool {
+	seen := map[*Block]bool{}
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	return seen
+}
+
+func TestStraightLine(t *testing.T) {
+	g := build(t, `func f() { x := 1; x++; _ = x }`)
+	if len(g.Entry.Nodes) != 3 {
+		t.Fatalf("entry has %d nodes, want 3", len(g.Entry.Nodes))
+	}
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
+		t.Fatalf("entry must flow straight to exit, got succs %v", g.Entry.Succs)
+	}
+}
+
+func TestIfElseJoins(t *testing.T) {
+	g := build(t, `func f(c bool) { if c { println(1) } else { println(2) }; println(3) }`)
+	r := reachable(g)
+	if !r[g.Exit] {
+		t.Fatal("exit unreachable")
+	}
+	// The entry (holding the condition) must have exactly two successors.
+	if len(g.Entry.Succs) != 2 {
+		t.Fatalf("condition block has %d successors, want 2", len(g.Entry.Succs))
+	}
+	// Both arms must rejoin: some block has two predecessors.
+	joined := false
+	for _, b := range g.Blocks {
+		if len(b.Preds) == 2 {
+			joined = true
+		}
+	}
+	if !joined {
+		t.Fatal("no join block after if/else")
+	}
+}
+
+func TestIfWithoutElse(t *testing.T) {
+	g := build(t, `func f(c bool) { if c { println(1) }; println(2) }`)
+	// Condition block: one edge into the then-arm, one skipping it.
+	if len(g.Entry.Succs) != 2 {
+		t.Fatalf("condition block has %d successors, want 2", len(g.Entry.Succs))
+	}
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit unreachable")
+	}
+}
+
+func TestForLoopBackEdge(t *testing.T) {
+	g := build(t, `func f() { for i := 0; i < 3; i++ { println(i) } }`)
+	// Some block must have a successor with a smaller index (the back edge).
+	back := false
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if s.Index < b.Index && s != g.Exit {
+				back = true
+			}
+		}
+	}
+	if !back {
+		t.Fatal("no back edge in for loop")
+	}
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit unreachable")
+	}
+}
+
+func TestForeverLoopExitsOnlyViaBreak(t *testing.T) {
+	g := build(t, `func f() { for { if done() { break }; println(1) } }`)
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit unreachable despite break")
+	}
+	g2 := build(t, `func f() { for { println(1) } }`)
+	if reachable(g2)[g2.Exit] {
+		t.Fatal("for{} without break must not reach exit")
+	}
+}
+
+func TestRangeNodeIsAtomic(t *testing.T) {
+	g := build(t, `func f(xs []int) { for _, x := range xs { println(x) } }`)
+	// The RangeStmt itself must appear as a node exactly once, and its body
+	// statements must live in a different block.
+	var rangeBlock *Block
+	count := 0
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.RangeStmt); ok {
+				rangeBlock = b
+				count++
+			}
+		}
+	}
+	if count != 1 {
+		t.Fatalf("RangeStmt appears %d times, want 1", count)
+	}
+	for _, n := range rangeBlock.Nodes {
+		if _, ok := n.(*ast.ExprStmt); ok {
+			t.Fatal("range body statement leaked into the loop-head block")
+		}
+	}
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit unreachable")
+	}
+}
+
+func TestReturnShortCircuits(t *testing.T) {
+	g := build(t, `func f(c bool) { if c { return }; println(1) }`)
+	// The then-arm's return must edge to exit and nothing may follow it.
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit unreachable")
+	}
+	for _, b := range g.Blocks {
+		hasReturn := false
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				hasReturn = true
+			}
+		}
+		if hasReturn {
+			if len(b.Succs) != 1 || b.Succs[0] != g.Exit {
+				t.Fatalf("return block succs = %v, want exit only", b.Succs)
+			}
+		}
+	}
+}
+
+func TestSwitchFanoutAndDefault(t *testing.T) {
+	// Without default: the head must also edge past every case.
+	g := build(t, `func f(x int) { switch x { case 1: println(1); case 2: println(2) }; println(3) }`)
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit unreachable")
+	}
+	// With default and fallthrough.
+	g2 := build(t, `func f(x int) {
+		switch x {
+		case 1:
+			println(1)
+			fallthrough
+		case 2:
+			println(2)
+		default:
+			println(3)
+		}
+	}`)
+	if !reachable(g2)[g2.Exit] {
+		t.Fatal("exit unreachable with default")
+	}
+}
+
+func TestLabeledBreakAndContinue(t *testing.T) {
+	g := build(t, `func f() {
+	outer:
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				if j == 1 {
+					continue outer
+				}
+				if j == 2 {
+					break outer
+				}
+			}
+		}
+		println(1)
+	}`)
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit unreachable")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	g := build(t, `func f(a, b chan int) { select { case <-a: println(1); case x := <-b: println(x) }; println(2) }`)
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit unreachable")
+	}
+}
+
+func TestGoto(t *testing.T) {
+	g := build(t, `func f() {
+		i := 0
+	again:
+		i++
+		if i < 3 {
+			goto again
+		}
+	}`)
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit unreachable")
+	}
+	back := false
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if s.Index < b.Index && s != g.Exit {
+				back = true
+			}
+		}
+	}
+	if !back {
+		t.Fatal("goto back edge missing")
+	}
+}
+
+func TestFuncLitIsOpaque(t *testing.T) {
+	g := build(t, `func f() { g := func() { if true { println(1) } }; g() }`)
+	// The closure's if must not contribute blocks: only entry->exit here.
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
+		t.Fatalf("function literal body leaked into the outer graph: %v", g.Entry.Succs)
+	}
+}

@@ -1,0 +1,88 @@
+// Package dataflow is a generic forward-dataflow fixpoint engine over the
+// control-flow graphs of internal/vet/cfg. A client describes its analysis
+// as a Problem — an entry fact, a join, and a per-node transfer function —
+// and Forward iterates the classic worklist algorithm to the least
+// fixpoint, returning the fact holding at the entry of every block.
+//
+// The engine is deliberately unopinionated about the fact type: persistlint
+// uses a per-abstract-location persistency-state map, the package tests use
+// a three-point definedness lattice. Termination is the client's contract:
+// Join must be monotone over a lattice of finite height.
+package dataflow
+
+import (
+	"go/ast"
+
+	"bbb/internal/vet/cfg"
+)
+
+// A Problem defines one forward analysis.
+//
+// Facts flow from Entry through Transfer along CFG edges and meet at Join.
+// Bottom is the identity of Join — the fact of an unreached program point;
+// blocks that remain at Bottom after the fixpoint are unreachable and a
+// client must not report diagnostics from them.
+type Problem[F any] interface {
+	// Entry is the fact at function entry.
+	Entry() F
+	// Bottom is the join identity (the unreached fact).
+	Bottom() F
+	// Transfer applies one atomic CFG node to a fact, returning the fact
+	// after the node. It may mutate and return its argument.
+	Transfer(n ast.Node, f F) F
+	// Join combines the facts of two in-edges. It must not mutate either
+	// argument.
+	Join(a, b F) F
+	// Equal reports whether two facts are the same point of the lattice.
+	Equal(a, b F) bool
+	// Clone deep-copies a fact (Transfer is allowed to mutate its input).
+	Clone(f F) F
+}
+
+// Forward runs p to its least fixpoint over g and returns the fact at the
+// entry of each block. To observe the fact at a specific node, replay
+// Transfer over the block's Nodes starting from its entry fact.
+func Forward[F any](g *cfg.Graph, p Problem[F]) map[*cfg.Block]F {
+	in := make(map[*cfg.Block]F, len(g.Blocks))
+	out := make(map[*cfg.Block]F, len(g.Blocks))
+	for _, b := range g.Blocks {
+		in[b] = p.Bottom()
+		out[b] = p.Bottom()
+	}
+	in[g.Entry] = p.Entry()
+
+	// FIFO worklist seeded in block order; queued tracks membership so a
+	// block appears at most once.
+	queue := make([]*cfg.Block, 0, len(g.Blocks))
+	queued := make([]bool, len(g.Blocks))
+	push := func(b *cfg.Block) {
+		if !queued[b.Index] {
+			queued[b.Index] = true
+			queue = append(queue, b)
+		}
+	}
+	push(g.Entry)
+
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		queued[b.Index] = false
+
+		f := p.Clone(in[b])
+		for _, n := range b.Nodes {
+			f = p.Transfer(n, f)
+		}
+		if p.Equal(f, out[b]) {
+			continue
+		}
+		out[b] = f
+		for _, s := range b.Succs {
+			joined := p.Join(in[s], f)
+			if !p.Equal(joined, in[s]) {
+				in[s] = joined
+				push(s)
+			}
+		}
+	}
+	return in
+}

@@ -1,0 +1,156 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"bbb/internal/vet/cfg"
+)
+
+// The test analysis tracks whether the variable "x" has been assigned:
+// a three-point lattice unreached < {unset, set} < maybe, joined pointwise.
+type defState uint8
+
+const (
+	unreached defState = iota
+	unset
+	set
+	maybe // set on some paths only
+)
+
+type defFact struct{ x defState }
+
+type defProblem struct{}
+
+func (defProblem) Entry() defFact  { return defFact{x: unset} }
+func (defProblem) Bottom() defFact { return defFact{} }
+func (defProblem) Clone(f defFact) defFact {
+	return f
+}
+func (defProblem) Equal(a, b defFact) bool { return a == b }
+func (defProblem) Join(a, b defFact) defFact {
+	switch {
+	case a.x == unreached:
+		return b
+	case b.x == unreached:
+		return a
+	case a.x == b.x:
+		return a
+	default:
+		return defFact{x: maybe}
+	}
+}
+func (defProblem) Transfer(n ast.Node, f defFact) defFact {
+	if f.x == unreached {
+		return f
+	}
+	as, ok := n.(*ast.AssignStmt)
+	if !ok {
+		return f
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && id.Name == "x" {
+			f.x = set
+		}
+	}
+	return f
+}
+
+// analyze builds f's CFG from src and returns the fact at the exit block.
+func analyze(t *testing.T, src string) defFact {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var g *cfg.Graph
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			g = cfg.New(fd.Body)
+		}
+	}
+	if g == nil {
+		t.Fatal("no function f")
+	}
+	in := Forward[defFact](g, defProblem{})
+	return in[g.Exit]
+}
+
+func TestStraightLineSets(t *testing.T) {
+	if got := analyze(t, `func f() { x := 1; _ = x }`); got.x != set {
+		t.Fatalf("exit fact = %v, want set", got.x)
+	}
+}
+
+func TestBranchJoinIsMaybe(t *testing.T) {
+	// x assigned on one arm only (the var decl is a DeclStmt, which the
+	// transfer ignores): the join must degrade to maybe.
+	got := analyze(t, `func f(c bool) { var x int; if c { x = 1 }; _ = x }`)
+	if got.x != maybe {
+		t.Fatalf("exit fact = %v, want maybe", got.x)
+	}
+}
+
+func TestBothArmsSet(t *testing.T) {
+	got := analyze(t, `func f(c bool) { var x int; if c { x = 1 } else { x = 2 }; _ = x }`)
+	if got.x != set {
+		t.Fatalf("exit fact = %v, want set", got.x)
+	}
+}
+
+func TestLoopFixpoint(t *testing.T) {
+	// The loop body may run zero times: maybe at exit.
+	got := analyze(t, `func f(n int) { var x int; for i := 0; i < n; i++ { x = i }; _ = x }`)
+	if got.x != maybe {
+		t.Fatalf("exit fact = %v, want maybe", got.x)
+	}
+}
+
+func TestAssignBeforeLoopStaysSet(t *testing.T) {
+	got := analyze(t, `func f(n int) { x := 0; for i := 0; i < n; i++ { x = i }; _ = x }`)
+	if got.x != set {
+		t.Fatalf("exit fact = %v, want set", got.x)
+	}
+}
+
+func TestUnreachableCodeStaysBottom(t *testing.T) {
+	// The assignment after return is dead; exit must still be `set` from
+	// the reachable path, not polluted by the dead block.
+	got := analyze(t, `func f() { x := 1; _ = x; return; x = 2; _ = x }`)
+	if got.x != set {
+		t.Fatalf("exit fact = %v, want set", got.x)
+	}
+}
+
+func TestSwitchAllCasesSet(t *testing.T) {
+	got := analyze(t, `func f(n int) {
+		var x int
+		switch n {
+		case 1:
+			x = 1
+		default:
+			x = 9
+		}
+		_ = x
+	}`)
+	if got.x != set {
+		t.Fatalf("exit fact = %v, want set", got.x)
+	}
+}
+
+func TestSwitchMissingDefaultIsMaybe(t *testing.T) {
+	got := analyze(t, `func f(n int) {
+		var x int
+		switch n {
+		case 1:
+			x = 1
+		}
+		_ = x
+	}`)
+	if got.x != maybe {
+		t.Fatalf("exit fact = %v, want maybe", got.x)
+	}
+}

@@ -14,6 +14,9 @@
 //   - calls to math/rand (and math/rand/v2) package-level functions, which
 //     draw from the global, unseeded source — deterministic code must use
 //     a *rand.Rand built from a seeded rand.NewSource;
+//   - calls to os.Getenv/os.LookupEnv and runtime.NumCPU/runtime.GOMAXPROCS,
+//     which make behaviour depend on the host environment rather than the
+//     experiment configuration;
 //   - range statements over maps. Map iteration order is randomized per
 //     run; loops whose effects are order-sensitive (draining, stats
 //     selection, first-error reporting) must iterate sorted keys instead.
@@ -34,8 +37,9 @@ import (
 var Analyzer = &vet.Analyzer{
 	Name: "detlint",
 	Doc: `	detlint: no nondeterminism in simulator packages.
-	Bans wall-clock time, the global math/rand source, and map-order
-	iteration in bbb/internal/... so simulations stay bit-reproducible.`,
+	Bans wall-clock time, the global math/rand source, host environment
+	probes (os.Getenv, runtime.NumCPU) and map-order iteration in
+	bbb/internal/... so simulations stay bit-reproducible.`,
 	Run: run,
 }
 
@@ -52,6 +56,14 @@ var bannedFuncs = map[string]map[string]string{
 	},
 	"math/rand":    nil, // package-level funcs draw the global source
 	"math/rand/v2": nil,
+	"os": {
+		"Getenv":    "thread configuration through config.Config, not the host environment",
+		"LookupEnv": "thread configuration through config.Config, not the host environment",
+	},
+	"runtime": {
+		"NumCPU":     "take the core count from config.Config, not the host machine",
+		"GOMAXPROCS": "simulated cores are config, not host scheduler state",
+	},
 }
 
 // randConstructors are the math/rand package-level functions that build

@@ -1,10 +1,12 @@
 // Package det is the detlint fixture: wall-clock time, the global
-// math/rand source, and map-order iteration are flagged; seeded generators
-// and justified loops are not.
+// math/rand source, host-environment probes, and map-order iteration are
+// flagged; seeded generators and justified loops are not.
 package det
 
 import (
 	"math/rand"
+	"os"
+	"runtime"
 	"time"
 )
 
@@ -23,6 +25,18 @@ func globalSource() int {
 func seeded(seed int64) int {
 	r := rand.New(rand.NewSource(seed)) // constructors build seeded sources: fine
 	return r.Intn(10)                   // methods on a seeded *rand.Rand: fine
+}
+
+func hostEnvironment() string {
+	return os.Getenv("BBB_THREADS") // want "call to os.Getenv is nondeterministic in simulation: thread configuration through config.Config"
+}
+
+func hostCores() int {
+	return runtime.NumCPU() // want "call to runtime.NumCPU is nondeterministic in simulation: take the core count from config.Config"
+}
+
+func hostFile() (*os.File, error) {
+	return os.Open("trace.out") // os functions other than the env probes: fine
 }
 
 func mapRange(m map[int]int) int {

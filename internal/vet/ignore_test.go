@@ -1,0 +1,89 @@
+package vet_test
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+	"testing"
+
+	"bbb/internal/vet"
+)
+
+// callReporter builds an analyzer that flags every call of the named
+// package-level function — just enough signal to probe suppression.
+func callReporter(analyzer, fname string) *vet.Analyzer {
+	return &vet.Analyzer{
+		Name: analyzer,
+		Run: func(p *vet.Pass) error {
+			for _, f := range p.Files() {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						if id, ok := call.Fun.(*ast.Ident); ok && id.Name == fname {
+							p.Reportf(call.Pos(), "call to %s", fname)
+						}
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+}
+
+func TestIgnoreEdgeCases(t *testing.T) {
+	pkg, fset, err := vet.LoadDir("testdata/ignoreedge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzers := []*vet.Analyzer{
+		callReporter("testa", "bad"),
+		callReporter("testb", "alsoBad"),
+	}
+	all, err := vet.RunAll([]*vet.Package{pkg}, fset, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got []string
+	for _, d := range all {
+		if !strings.HasSuffix(d.Pos.Filename, "ignoreedge.go") {
+			t.Fatalf("diagnostic in unexpected file: %s", d)
+		}
+		got = append(got, fmt.Sprintf("%d:%s:%v", d.Pos.Line, d.Analyzer, d.Ignored))
+	}
+	want := []string{
+		"10:testa:true",   // trailing line-form directive
+		"14:testa:true",   // trailing block-form directive
+		"18:testa:true",   // two block directives on one line...
+		"18:testb:true",   // ...suppress two analyzers
+		"23:testb:true",   // directive above a multi-line statement
+		"24:testa:true",   // trailing directive inside that statement
+		"29:testa:false",  // no directive at all
+		"33:bbbvet:false", // line-form directive missing its reason
+		"33:testa:false",  // ...which therefore suppresses nothing
+		"36:bbbvet:false", // block-form directive missing everything
+		"38:testa:false",  // ...likewise suppresses nothing
+	}
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("RunAll diagnostics:\n%s\nwant:\n%s", strings.Join(got, "\n"), strings.Join(want, "\n"))
+	}
+
+	// Run must be exactly the non-ignored subset.
+	kept, err := vet.Run([]*vet.Package{pkg}, fset, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotKept []string
+	for _, d := range kept {
+		gotKept = append(gotKept, fmt.Sprintf("%d:%s:%v", d.Pos.Line, d.Analyzer, d.Ignored))
+	}
+	var wantKept []string
+	for _, w := range want {
+		if strings.HasSuffix(w, ":false") {
+			wantKept = append(wantKept, w)
+		}
+	}
+	if strings.Join(gotKept, "\n") != strings.Join(wantKept, "\n") {
+		t.Errorf("Run diagnostics:\n%s\nwant:\n%s", strings.Join(gotKept, "\n"), strings.Join(wantKept, "\n"))
+	}
+}

@@ -1,0 +1,37 @@
+package vet
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonDiagnostic is the stable machine-readable form of one finding.
+// Exactly these five keys, always all present, one object per line —
+// the contract `bbbvet -json` consumers (CI annotations, dashboards)
+// parse with a line-oriented reader.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Ignored  bool   `json:"ignored"`
+}
+
+// WriteJSON writes diags as JSON lines. Pass RunAll output to include
+// suppressed findings (ignored:true); Run output contains none.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	enc := json.NewEncoder(w)
+	for _, d := range diags {
+		jd := jsonDiagnostic{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+			Ignored:  d.Ignored,
+		}
+		if err := enc.Encode(jd); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package vet
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestWriteJSONSchema(t *testing.T) {
+	diags := []Diagnostic{
+		{
+			Analyzer: "detlint",
+			Pos:      token.Position{Filename: "a/b.go", Line: 12},
+			Message: `call to time.Now in simulator code: "quoted" and multi
+line`,
+		},
+		{
+			Analyzer: "persistlint",
+			Pos:      token.Position{Filename: "c.go", Line: 3},
+			Message:  "redundant fence",
+			Ignored:  true,
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, diags); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != len(diags) {
+		t.Fatalf("got %d JSON lines, want %d:\n%s", len(lines), len(diags), buf.String())
+	}
+	wantKeys := []string{"analyzer", "file", "ignored", "line", "message"}
+	for i, line := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i, err, line)
+		}
+		var keys []string
+		for k := range obj {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		if !reflect.DeepEqual(keys, wantKeys) {
+			t.Errorf("line %d keys = %v, want %v", i, keys, wantKeys)
+		}
+		if obj["file"] != diags[i].Pos.Filename {
+			t.Errorf("line %d file = %v, want %v", i, obj["file"], diags[i].Pos.Filename)
+		}
+		if int(obj["line"].(float64)) != diags[i].Pos.Line {
+			t.Errorf("line %d line = %v, want %v", i, obj["line"], diags[i].Pos.Line)
+		}
+		if obj["analyzer"] != diags[i].Analyzer {
+			t.Errorf("line %d analyzer = %v, want %v", i, obj["analyzer"], diags[i].Analyzer)
+		}
+		if obj["message"] != diags[i].Message {
+			t.Errorf("line %d message = %v, want %v", i, obj["message"], diags[i].Message)
+		}
+		if obj["ignored"] != diags[i].Ignored {
+			t.Errorf("line %d ignored = %v, want %v", i, obj["ignored"], diags[i].Ignored)
+		}
+	}
+}
+
+func TestWriteJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatalf("WriteJSON(nil): %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("WriteJSON(nil) wrote %q, want nothing", buf.String())
+	}
+}

@@ -1,0 +1,11 @@
+package persistlint
+
+import (
+	"testing"
+
+	"bbb/internal/vet"
+)
+
+func TestPersistFixture(t *testing.T) {
+	vet.RunFixture(t, Analyzer, "testdata/persist")
+}

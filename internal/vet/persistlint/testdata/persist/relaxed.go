@@ -1,0 +1,27 @@
+//bbbvet:scheme bbb
+
+package persist
+
+// Under a battery-backed scheme the hardware persists stores in program
+// order: persist operations are no-ops worth flagging, and the ordering
+// and exit checks are suppressed entirely.
+
+func relaxedProgram(e Env) {
+	a := Addr(256)
+	Store64(e, a, 1)
+	e.PersistBarrier(a) // want "persist barrier is a no-op under BBB/eADR \\(stores persist in program order\\)"
+}
+
+func relaxedFlushFence(e Env, a Addr) {
+	Store64(e, a, 1)
+	e.WriteBack(a) // want "flush is a no-op under BBB/eADR"
+	e.Fence()      // want "fence is a no-op under BBB/eADR"
+}
+
+// Publishing without any barrier is exactly what BBB makes legal: silent.
+func relaxedPublish(e Env, head Addr) {
+	node := head + 64
+	Store64(e, node, 1)
+	//bbbvet:commit-store node
+	Store64(e, head, uint64(node))
+}

@@ -1,0 +1,25 @@
+package persist
+
+// Without a file-level //bbbvet:scheme directive the analysis falls back
+// to a per-declaration heuristic: code mentioning only the battery-backed
+// scheme constants is relaxed, code mentioning PMEM is strict.
+
+type Scheme int
+
+const (
+	SchemePMEM Scheme = iota
+	SchemeBBB
+	SchemeEADR
+)
+
+func buildBBB(e Env, a Addr) {
+	_ = SchemeBBB
+	Store64(e, a, 1)
+	e.PersistBarrier(a) // want "no-op under BBB/eADR"
+}
+
+func buildPMEM(e Env, a Addr) {
+	_, _ = SchemePMEM, SchemeBBB
+	Store64(e, a, 1)
+	e.PersistBarrier(a)
+}

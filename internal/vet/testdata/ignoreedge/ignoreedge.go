@@ -1,0 +1,39 @@
+// Package ignoreedge exercises the ignore-directive corner cases: the
+// block-comment form, two analyzers suppressed on one line, a directive
+// above a multi-line statement, and directives missing their reason.
+package ignoreedge
+
+func bad() int      { return 0 }
+func alsoBad(_ int) {}
+
+func lineForm() {
+	_ = bad() //bbbvet:ignore testa expected noise
+}
+
+func blockForm() {
+	_ = bad() /*bbbvet:ignore testa the block form works too*/
+}
+
+func twoOnOneLine() {
+	alsoBad(bad()) /*bbbvet:ignore testa one line*/ /*bbbvet:ignore testb two analyzers*/
+}
+
+func multiLine() {
+	//bbbvet:ignore testb the directive covers the statement's first line
+	alsoBad(
+		bad(), //bbbvet:ignore testa inner call suppressed separately
+	)
+}
+
+func unsuppressed() {
+	_ = bad()
+}
+
+func missingReason() {
+	_ = bad() //bbbvet:ignore testa
+}
+
+/*bbbvet:ignore*/
+func blockMissingEverything() {
+	_ = bad()
+}

@@ -20,8 +20,11 @@
 //
 //	//bbbvet:ignore <analyzer> <reason>
 //
-// The reason is mandatory; an ignore directive without one is itself
-// reported. This keeps every escape hatch self-documenting.
+// The block form /*bbbvet:ignore <analyzer> <reason>*/ is equivalent and
+// lets several directives share one line. The reason is mandatory; an
+// ignore directive without one is itself reported. This keeps every
+// escape hatch self-documenting. Run drops suppressed diagnostics;
+// RunAll keeps them with Ignored set, for machine consumers (-json).
 package vet
 
 import (
@@ -64,6 +67,9 @@ type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	// Ignored marks a finding suppressed by a //bbbvet:ignore directive.
+	// Run drops these; RunAll returns them marked.
+	Ignored bool
 }
 
 func (d Diagnostic) String() string {
@@ -89,6 +95,23 @@ func (p *Pass) Files() []*ast.File { return p.Pkg.Files }
 // (non-suppressed) diagnostics sorted by position, plus any ignore
 // directives that lack a reason.
 func Run(pkgs []*Package, fset *token.FileSet, analyzers []*Analyzer) ([]Diagnostic, error) {
+	all, err := RunAll(pkgs, fset, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	kept := all[:0]
+	for _, d := range all {
+		if !d.Ignored {
+			kept = append(kept, d)
+		}
+	}
+	return kept, nil
+}
+
+// RunAll is Run without the filtering: suppressed diagnostics are kept,
+// marked Ignored, so machine consumers can see the full picture including
+// every acknowledged finding.
+func RunAll(pkgs []*Package, fset *token.FileSet, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	byAnalyzer := make(map[*Analyzer][]*Pass)
 	for _, a := range analyzers {
@@ -106,24 +129,23 @@ func Run(pkgs []*Package, fset *token.FileSet, analyzers []*Analyzer) ([]Diagnos
 		}
 	}
 	ig := newIgnoreIndex(pkgs, fset)
-	kept := diags[:0]
-	for _, d := range diags {
-		if !ig.suppressed(d) {
-			kept = append(kept, d)
+	for i := range diags {
+		if ig.suppressed(diags[i]) {
+			diags[i].Ignored = true
 		}
 	}
-	kept = append(kept, ig.malformed...)
-	sort.Slice(kept, func(i, j int) bool {
-		a, b := kept[i].Pos, kept[j].Pos
+	diags = append(diags, ig.malformed...)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
 			return a.Filename < b.Filename
 		}
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
-		return kept[i].Analyzer < kept[j].Analyzer
+		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return kept, nil
+	return diags, nil
 }
 
 // ignoreIndex maps file → line → set of analyzer names suppressed there.
@@ -140,10 +162,15 @@ func newIgnoreIndex(pkgs []*Package, fset *token.FileSet) *ignoreIndex {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
-					if !strings.HasPrefix(c.Text, ignorePrefix) {
+					// Accept the block form too; it reduces to the line form.
+					text := c.Text
+					if strings.HasPrefix(text, "/*") {
+						text = "//" + strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(text, "/*"), "*/"))
+					}
+					if !strings.HasPrefix(text, ignorePrefix) {
 						continue
 					}
-					rest := strings.TrimPrefix(c.Text, ignorePrefix)
+					rest := strings.TrimPrefix(text, ignorePrefix)
 					fields := strings.Fields(rest)
 					pos := fset.Position(c.Pos())
 					if len(fields) < 2 {

@@ -190,7 +190,7 @@ func (bt *BTree) insert(e cpu.Env, t int, rootPtr memory.Addr, key, val uint64) 
 	}
 	barrierParams := Params{NoBarriers: bt.noBarriers}
 	barrier(e, barrierParams, barrierAddrs...)
-	cpu.Store64(e, rootPtr, uint64(newRoot))
+	cpu.Store64(e, rootPtr, uint64(newRoot)) //bbbvet:commit-store newRoot shadows
 	barrier(e, barrierParams, rootPtr)
 }
 

@@ -106,7 +106,7 @@ func (c *CTree) insert(e cpu.Env, p Params, t int, root memory.Addr, key, val ui
 	if cur == 0 {
 		leaf := c.newLeaf(e, t, key, val)
 		barrier(e, p, leaf)
-		cpu.Store64(e, root, leaf)
+		cpu.Store64(e, root, leaf) //bbbvet:commit-store leaf
 		barrier(e, p, root)
 		return
 	}
@@ -165,7 +165,7 @@ func (c *CTree) insert(e cpu.Env, p Params, t int, root memory.Addr, key, val ui
 	cpu.Store64(e, inode+offIntMagic, magicInternal)
 	barrier(e, p, leaf, inode)
 	// Commit: one pointer store into the live tree.
-	cpu.Store64(e, ptrCell, inode)
+	cpu.Store64(e, ptrCell, inode) //bbbvet:commit-store leaf inode
 	barrier(e, p, memory.LineAddr(ptrCell))
 }
 

@@ -92,7 +92,7 @@ func (h *Hashmap) Programs(p Params) []system.Program {
 				cpu.Store64(e, node+offHashNext, head)
 				cpu.Store64(e, node+offHashMagic, magicHashNode)
 				barrier(e, p, node)
-				cpu.Store64(e, bucket, node)
+				cpu.Store64(e, bucket, node) //bbbvet:commit-store node
 				barrier(e, p, bucket)
 				volatileWork(e, t, h.volWork(p), r)
 			}

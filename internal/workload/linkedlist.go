@@ -80,8 +80,8 @@ func (l *LinkedList) Programs(p Params) []system.Program {
 				cpu.Store64(e, node+offListMagic, magicListNode)
 				barrier(e, p, node) // Figure 3 line 7-8
 				// Publish: swing the head pointer.
-				cpu.Store64(e, head, node)
-				barrier(e, p, head) // Figure 3 line 12-13
+				cpu.Store64(e, head, node) //bbbvet:commit-store node
+				barrier(e, p, head)        // Figure 3 line 12-13
 				cur = node
 				volatileWork(e, t, l.volWork(p), r)
 			}

@@ -204,7 +204,7 @@ func (rt *RTree) insert(e cpu.Env, p Params, t int, val uint64) {
 	cpu.Store64(e, inode+offRMagic, magicRNode)
 	barrier(e, p, leafA, leafA+memory.LineSize, leafB, leafB+memory.LineSize, inode, inode+memory.LineSize)
 
-	cpu.Store64(e, ptrCell, uint64(inode))
+	cpu.Store64(e, ptrCell, uint64(inode)) //bbbvet:commit-store leafA leafB inode
 	barrier(e, p, memory.LineAddr(ptrCell))
 }
 

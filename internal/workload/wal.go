@@ -101,8 +101,8 @@ func (w *WAL) Programs(p Params) []system.Program {
 				cpu.Store64(e, rec+offWALSeq, seq)
 				cpu.Store64(e, rec+offWALTag, tag)
 				cpu.Store64(e, rec+offWALSum, walChecksum(seq, tag, body))
-				barrier(e, p, rec) // record before tail (the WAL contract)
-				cpu.Store64(e, tail, seq)
+				barrier(e, p, rec)        // record before tail (the WAL contract)
+				cpu.Store64(e, tail, seq) //bbbvet:commit-store rec
 				barrier(e, p, tail)
 				volatileWork(e, t, w.volWork(p), r)
 			}
