@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race invariant fuzz-short check
+.PHONY: all build test vet race invariant fuzz-short check bench-json
 
 all: check
 
@@ -28,6 +28,16 @@ race:
 # engine event) plus the race detector over the internal packages.
 invariant:
 	$(GO) test -race -tags invariant ./internal/...
+
+# Perf trajectory: run the key benchmarks (simulator throughput and
+# allocation pressure, Figure 7 wall-clock, raw event-kernel rate) and
+# record them as the next BENCH_<n>.json. Non-gating; CI uploads the file
+# as an artifact so regressions are visible across PRs.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkFig7aExecutionTime|BenchmarkEngineKernel' \
+		-benchmem . ./internal/engine \
+		| $(GO) run ./cmd/benchjson > BENCH_$$(ls BENCH_*.json 2>/dev/null | wc -l).json
+	@ls BENCH_*.json | tail -1
 
 # A bounded pass over every fuzz target.
 fuzz-short:

@@ -96,6 +96,22 @@ type Options struct {
 	// memory-consistency case, where program-order persistency rests on
 	// the battery-backed store buffer alone.
 	RelaxedConsistency bool
+	// Parallelism bounds how many independent simulations the experiment
+	// drivers (RunFig7, RunFig8, RunTable4, the ablations, seed sweeps and
+	// crash campaigns) may run concurrently. Every sweep point runs on its
+	// own engine and machine and results are joined in serial index order,
+	// so output is identical for any value — only wall-clock changes. 0 or
+	// 1 is serial; the CLIs default their -parallel flag to the host's
+	// scheduler width.
+	Parallelism int
+}
+
+// workers resolves Parallelism for the sweep runner.
+func (o Options) workers() int {
+	if o.Parallelism > 1 {
+		return o.Parallelism
+	}
+	return 1
 }
 
 func (o Options) params() workload.Params {
@@ -231,6 +247,7 @@ func CrashCampaign(workloadName string, s Scheme, o Options, points int, first, 
 		FirstCrash: first,
 		Step:       step,
 		Points:     points,
+		Parallel:   o.workers(),
 	}
 	return cc.Run(), nil
 }

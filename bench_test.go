@@ -7,6 +7,8 @@ package bbb
 // paper-vs-measured values.
 
 import (
+	"runtime"
+	"strconv"
 	"testing"
 
 	"bbb/internal/energy"
@@ -79,7 +81,7 @@ func BenchmarkTable10BatterySweep(b *testing.B) {
 	}
 	for _, r := range rows {
 		if r.Tech == "SuperCap" && (r.Entries == 32 || r.Entries == 1024) {
-			b.ReportMetric(r.VolumeMM3, r.Platform[:6]+"_e"+itoa(r.Entries)+"_mm3")
+			b.ReportMetric(r.VolumeMM3, r.Platform[:6]+"_e"+strconv.Itoa(r.Entries)+"_mm3")
 		}
 	}
 }
@@ -131,9 +133,9 @@ func BenchmarkFig8Sensitivity(b *testing.B) {
 		pts = RunFig8(scaled(150), sizes)
 	}
 	for _, p := range pts {
-		b.ReportMetric(p.Rejections, "rej_e"+itoa(p.Entries)+"_x")
-		b.ReportMetric(p.ExecTime, "exec_e"+itoa(p.Entries)+"_x")
-		b.ReportMetric(p.Drains, "drains_e"+itoa(p.Entries)+"_x")
+		b.ReportMetric(p.Rejections, "rej_e"+strconv.Itoa(p.Entries)+"_x")
+		b.ReportMetric(p.ExecTime, "exec_e"+strconv.Itoa(p.Entries)+"_x")
+		b.ReportMetric(p.Drains, "drains_e"+strconv.Itoa(p.Entries)+"_x")
 	}
 }
 
@@ -149,8 +151,8 @@ func BenchmarkAblationWPQDepth(b *testing.B) {
 		}
 	}
 	for _, p := range pts {
-		b.ReportMetric(float64(p.Cycles), "cycles_wpq"+itoa(p.Entries))
-		b.ReportMetric(float64(p.FullStalls), "stalls_wpq"+itoa(p.Entries))
+		b.ReportMetric(float64(p.Cycles), "cycles_wpq"+strconv.Itoa(p.Entries))
+		b.ReportMetric(float64(p.FullStalls), "stalls_wpq"+strconv.Itoa(p.Entries))
 	}
 }
 
@@ -195,7 +197,7 @@ func BenchmarkAblationDrainThreshold(b *testing.B) {
 		}
 	}
 	for _, p := range pts {
-		b.ReportMetric(float64(p.NVMMWrites), "writes_t"+itoa(int(p.Threshold*100)))
+		b.ReportMetric(float64(p.NVMMWrites), "writes_t"+strconv.Itoa(int(p.Threshold*100)))
 	}
 }
 
@@ -219,26 +221,17 @@ func BenchmarkSchemesPerWorkload(b *testing.B) {
 }
 
 // BenchmarkSimulatorThroughput measures raw simulator speed (simulated
-// stores per wall second) — an engineering metric, not a paper figure.
+// stores per wall second) and allocation pressure per run — engineering
+// metrics, not paper figures. bench-json tracks both across commits.
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
 	var stores uint64
 	for i := 0; i < b.N; i++ {
 		r := MustRun("mutateNC", SchemeBBB, benchOptions())
 		stores += r.Stores
 	}
+	runtime.ReadMemStats(&after)
 	b.ReportMetric(float64(stores)/b.Elapsed().Seconds(), "sim_stores/s")
-}
-
-func itoa(n int) string {
-	if n == 0 {
-		return "0"
-	}
-	var buf [8]byte
-	i := len(buf)
-	for n > 0 {
-		i--
-		buf[i] = byte('0' + n%10)
-		n /= 10
-	}
-	return string(buf[i:])
+	b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(b.N), "allocs/op")
 }

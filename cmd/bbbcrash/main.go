@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 
 	"bbb"
 )
@@ -21,13 +22,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bbbcrash: ")
 	var (
-		wl      = flag.String("workload", "", "workload to crash (default: linkedlist matrix over all schemes)")
-		scheme  = flag.String("scheme", "", "scheme to test (default: all)")
-		points  = flag.Int("points", 20, "number of crash points")
-		first   = flag.Uint64("first", 5_000, "first crash cycle")
-		step    = flag.Uint64("step", 10_000, "cycles between crash points")
-		ops     = flag.Int("ops", 400, "operations per thread")
-		threads = flag.Int("threads", 4, "threads/cores")
+		wl       = flag.String("workload", "", "workload to crash (default: linkedlist matrix over all schemes)")
+		scheme   = flag.String("scheme", "", "scheme to test (default: all)")
+		points   = flag.Int("points", 20, "number of crash points")
+		first    = flag.Uint64("first", 5_000, "first crash cycle")
+		step     = flag.Uint64("step", 10_000, "cycles between crash points")
+		ops      = flag.Int("ops", 400, "operations per thread")
+		threads  = flag.Int("threads", 4, "threads/cores")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent crash points per campaign (1 = serial; reports are identical either way)")
 	)
 	flag.Parse()
 
@@ -66,6 +68,7 @@ func main() {
 				Threads:      *threads,
 				OpsPerThread: *ops,
 				NoBarriers:   c.noBarriers,
+				Parallelism:  *parallel,
 				// Small caches reorder persists aggressively, making the
 				// PMEM/no-barrier bug easy to expose.
 				L1Size: 1024,

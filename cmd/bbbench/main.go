@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"bbb"
 )
@@ -27,11 +28,12 @@ func main() {
 		threads  = flag.Int("threads", 8, "threads/cores")
 		entries  = flag.Int("entries", 32, "bbPB entries for the cost tables")
 		scale    = flag.Bool("scale", false, "use the full Table III cache sizes (default: proportionally scaled caches)")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulations per sweep (1 = serial; output is identical either way)")
 		jsonPath = flag.String("json", "", "also write the simulation-backed figure data as JSON to this file")
 	)
 	flag.Parse()
 
-	o := bbb.Options{Threads: *threads, OpsPerThread: *ops}
+	o := bbb.Options{Threads: *threads, OpsPerThread: *ops, Parallelism: *parallel}
 	if !*scale {
 		o.L1Size = 8 * 1024
 		o.L2Size = 64 * 1024

@@ -1,11 +1,16 @@
-// Command bbbsim runs one workload under one persistency scheme on the
-// simulated Table III machine and prints the run's statistics.
+// Command bbbsim runs workloads under persistency schemes on the simulated
+// Table III machine and prints each run's statistics.
+//
+// The -workload and -scheme flags accept comma-separated lists; the cross
+// product fans out across -parallel concurrent simulations and the result
+// blocks print in (workload, scheme) order regardless of parallelism.
 //
 // Usage:
 //
 //	bbbsim -workload hashmap -scheme bbb -ops 1000
 //	bbbsim -workload rtree -scheme pmem -no-barriers
 //	bbbsim -workload mutateC -scheme bbb -entries 8 -verbose
+//	bbbsim -workload rtree,hashmap -scheme pmem,eadr,bbb -parallel 8
 package main
 
 import (
@@ -13,34 +18,50 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 
 	"bbb"
 	"bbb/internal/stats"
+	"bbb/internal/sweep"
 )
+
+type combo struct {
+	workload string
+	scheme   bbb.Scheme
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bbbsim: ")
 	var (
-		wl         = flag.String("workload", "hashmap", "workload: "+strings.Join(bbb.Workloads(), ", ")+", linkedlist")
-		scheme     = flag.String("scheme", "bbb", "persistency scheme: pmem, eadr, bbb, bbb-proc")
+		wl         = flag.String("workload", "hashmap", "workload (comma-separated list fans out): "+strings.Join(bbb.Workloads(), ", ")+", linkedlist")
+		scheme     = flag.String("scheme", "bbb", "persistency scheme (comma-separated list fans out): pmem, eadr, bbb, bbb-proc")
 		ops        = flag.Int("ops", 1000, "operations per thread")
 		threads    = flag.Int("threads", 8, "threads/cores")
 		entries    = flag.Int("entries", 32, "bbPB entries per core")
 		threshold  = flag.Float64("threshold", 0.75, "bbPB drain occupancy threshold")
 		noBarriers = flag.Bool("no-barriers", false, "omit persist barriers (the Figure 2 variant)")
 		seed       = flag.Int64("seed", 1, "workload RNG seed")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulations for workload/scheme lists (1 = serial; output is identical either way)")
 		verbose    = flag.Bool("verbose", false, "dump all component counters")
 		traceN     = flag.Int("trace", 0, "dump the last N microarchitectural events after the run")
 		check      = flag.Bool("check", false, "audit coherence and bbPB invariants every 1000 cycles (see internal/invariant)")
 	)
 	flag.Parse()
 
-	s, err := bbb.ParseScheme(*scheme)
-	if err != nil {
-		log.Fatal(err)
+	workloads := strings.Split(*wl, ",")
+	var combos []combo
+	for _, w := range workloads {
+		for _, name := range strings.Split(*scheme, ",") {
+			s, err := bbb.ParseScheme(strings.TrimSpace(name))
+			if err != nil {
+				log.Fatal(err)
+			}
+			combos = append(combos, combo{strings.TrimSpace(w), s})
+		}
 	}
+
 	o := bbb.Options{
 		Threads:        *threads,
 		OpsPerThread:   *ops,
@@ -49,26 +70,56 @@ func main() {
 		NoBarriers:     *noBarriers,
 		Seed:           *seed,
 	}
-	var res bbb.Result
-	switch {
-	case *check && *traceN > 0:
-		log.Fatal("-check and -trace are mutually exclusive")
-	case *check:
-		res, err = bbb.RunChecked(*wl, s, o, 0)
-	case *traceN > 0:
-		o.TraceCapacity = *traceN
-		fmt.Printf("--- last %d microarchitectural events ---\n", *traceN)
-		res, err = bbb.RunTraced(*wl, s, o, os.Stdout)
-		fmt.Println("---")
-	default:
-		res, err = bbb.Run(*wl, s, o)
-	}
-	if err != nil {
-		log.Fatal(err)
+
+	if *check || *traceN > 0 {
+		if len(combos) > 1 {
+			log.Fatal("-check and -trace need a single workload/scheme combination")
+		}
+		if *check && *traceN > 0 {
+			log.Fatal("-check and -trace are mutually exclusive")
+		}
+		c := combos[0]
+		var (
+			res bbb.Result
+			err error
+		)
+		if *check {
+			res, err = bbb.RunChecked(c.workload, c.scheme, o, 0)
+		} else {
+			o.TraceCapacity = *traceN
+			fmt.Printf("--- last %d microarchitectural events ---\n", *traceN)
+			res, err = bbb.RunTraced(c.workload, c.scheme, o, os.Stdout)
+			fmt.Println("---")
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		printResult(c, o, res, *verbose)
+		return
 	}
 
-	fmt.Printf("workload            %s (%d threads x %d ops)\n", *wl, *threads, *ops)
-	fmt.Printf("scheme              %s\n", s)
+	type outcome struct {
+		res bbb.Result
+		err error
+	}
+	results := sweep.Map(*parallel, len(combos), func(i int) outcome {
+		r, err := bbb.Run(combos[i].workload, combos[i].scheme, o)
+		return outcome{r, err}
+	})
+	for i, out := range results {
+		if out.err != nil {
+			log.Fatal(out.err)
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		printResult(combos[i], o, out.res, *verbose)
+	}
+}
+
+func printResult(c combo, o bbb.Options, res bbb.Result, verbose bool) {
+	fmt.Printf("workload            %s (%d threads x %d ops)\n", c.workload, o.Threads, o.OpsPerThread)
+	fmt.Printf("scheme              %s\n", c.scheme)
 	fmt.Printf("execution cycles    %d (%.3f ms at 2 GHz)\n", res.Cycles, float64(res.Cycles)/2e6)
 	fmt.Printf("stores              %d (%d persisting, %.1f%%)\n",
 		res.Stores, res.PersistingStores, 100*float64(res.PersistingStores)/float64(res.Stores))
@@ -79,7 +130,7 @@ func main() {
 	fmt.Printf("skipped writebacks  %d\n", res.SkippedWritebacks)
 	fmt.Printf("SB stall cycles     %d\n", res.StallCycles)
 	fmt.Printf("dirty cache lines   %.1f%% (paper assumes 44.9%% for eADR estimates)\n", 100*res.DirtyFraction)
-	if *verbose {
+	if verbose {
 		fmt.Println("\ncomponent counters:")
 		fmt.Fprint(os.Stdout, res.Counters.StringWith(stats.Glossary))
 	}

@@ -1,0 +1,91 @@
+// Command benchjson converts `go test -bench` output on stdin into JSON on
+// stdout, for the benchmark-regression trail kept in BENCH_<n>.json files
+// (see `make bench-json`). Counter names come through verbatim, so custom
+// metrics like sim_stores/s and allocs/op are preserved alongside ns/op.
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./... | benchjson > BENCH_0.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type report struct {
+	GOOS    string   `json:"goos,omitempty"`
+	GOARCH  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []result `json:"results"`
+}
+
+func main() {
+	var rep report
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseBench(line); ok {
+				rep.Results = append(rep.Results, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench decodes one result line: a name, an iteration count, then
+// value/unit pairs. The trailing -GOMAXPROCS suffix is stripped from the
+// name so files diff cleanly across machines.
+func parseBench(line string) (result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	name := f[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	r := result{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			continue
+		}
+		r.Metrics[f[i+1]] = v
+	}
+	return r, true
+}

@@ -5,6 +5,7 @@ import (
 
 	"bbb/internal/persistency"
 	"bbb/internal/stats"
+	"bbb/internal/sweep"
 	"bbb/internal/workload"
 )
 
@@ -37,20 +38,32 @@ type Fig7Result struct {
 }
 
 // RunFig7 regenerates Figure 7: every Table IV workload under eADR, BBB-32
-// and BBB-1024.
+// and BBB-1024. The 3 x |workloads| independent simulations fan out over
+// Options.Parallelism workers; rows are assembled in the paper's order.
 func RunFig7(o Options) Fig7Result {
+	reg := workload.Registry()
+	o32 := o
+	o32.BBPBEntries = 32
+	o1024 := o
+	o1024.BBPBEntries = 1024
+	type trio struct{ eadr, b32, b1024 Result }
+	res := make([]trio, len(reg))
+	sweep.Run(o.workers(), 3*len(reg), func(i int) {
+		name := reg[i/3].Name()
+		switch i % 3 {
+		case 0:
+			res[i/3].eadr = MustRun(name, SchemeEADR, o)
+		case 1:
+			res[i/3].b32 = MustRun(name, SchemeBBB, o32)
+		case 2:
+			res[i/3].b1024 = MustRun(name, SchemeBBB, o1024)
+		}
+	})
+
 	var out Fig7Result
 	var execs, writes32, writes1024 []float64
-	for _, w := range workload.Registry() {
-		eadr := MustRun(w.Name(), SchemeEADR, o)
-
-		o32 := o
-		o32.BBPBEntries = 32
-		b32 := MustRun(w.Name(), SchemeBBB, o32)
-
-		o1024 := o
-		o1024.BBPBEntries = 1024
-		b1024 := MustRun(w.Name(), SchemeBBB, o1024)
+	for wi, w := range reg {
+		eadr, b32, b1024 := res[wi].eadr, res[wi].b32, res[wi].b1024
 
 		row := Fig7Row{
 			Workload:      w.Name(),
@@ -77,11 +90,20 @@ func RunFig7(o Options) Fig7Result {
 // NVMM-write ratio of the processor-side organization to eADR (the paper
 // reports ~2.8x).
 func ProcSideWriteRatio(o Options) float64 {
+	reg := workload.Registry()
+	type pair struct{ eadr, proc Result }
+	res := make([]pair, len(reg))
+	sweep.Run(o.workers(), 2*len(reg), func(i int) {
+		name := reg[i/2].Name()
+		if i%2 == 0 {
+			res[i/2].eadr = MustRun(name, SchemeEADR, o)
+		} else {
+			res[i/2].proc = MustRun(name, SchemeBBBProc, o)
+		}
+	})
 	var ratios []float64
-	for _, w := range workload.Registry() {
-		eadr := MustRun(w.Name(), SchemeEADR, o)
-		proc := MustRun(w.Name(), SchemeBBBProc, o)
-		ratios = append(ratios, stats.Ratio(float64(proc.NVMMWrites), float64(eadr.NVMMWrites)))
+	for wi := range reg {
+		ratios = append(ratios, stats.Ratio(float64(res[wi].proc.NVMMWrites), float64(res[wi].eadr.NVMMWrites)))
 	}
 	return stats.Geomean(ratios)
 }
@@ -105,13 +127,18 @@ func RunFig8(o Options, sizes []int) []Fig8Point {
 		sizes = Fig8Sizes
 	}
 	reg := workload.Registry()
+	// One independent simulation per (workload, size) cell, fanned out over
+	// Options.Parallelism workers into index-addressed slots.
+	cells := sweep.Map(o.workers(), len(reg)*len(sizes), func(c int) Result {
+		on := o
+		on.BBPBEntries = sizes[c%len(sizes)]
+		return MustRun(reg[c/len(sizes)].Name(), SchemeBBB, on)
+	})
 	type raw struct{ rej, exec, drains []float64 }
 	perSize := make([]raw, len(sizes))
-	for _, w := range reg {
-		for i, n := range sizes {
-			on := o
-			on.BBPBEntries = n
-			r := MustRun(w.Name(), SchemeBBB, on)
+	for wi := range reg {
+		for i := range sizes {
+			r := cells[wi*len(sizes)+i]
 			// Geomean needs positive values; +1 shifts zero counts.
 			perSize[i].rej = append(perSize[i].rej, float64(r.Rejections)+1)
 			perSize[i].exec = append(perSize[i].exec, float64(r.Cycles))
@@ -143,17 +170,17 @@ type PStoreRow struct {
 // RunTable4 measures the store mix of every workload (Table IV's %P-stores
 // column) on the eADR machine, where no persistency mechanism perturbs it.
 func RunTable4(o Options) []PStoreRow {
-	var rows []PStoreRow
-	for _, w := range workload.Registry() {
+	reg := workload.Registry()
+	return sweep.Map(o.workers(), len(reg), func(i int) PStoreRow {
+		w := reg[i]
 		r := MustRun(w.Name(), SchemeEADR, o)
-		rows = append(rows, PStoreRow{
+		return PStoreRow{
 			Workload:    w.Name(),
 			Description: w.Description(),
 			MeasuredPct: 100 * float64(r.PersistingStores) / float64(r.Stores),
 			PaperPct:    w.PaperPStores(),
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // SeedSweep is the multi-seed robustness summary for one (workload,
@@ -174,18 +201,22 @@ func RunSeedSweep(workloadName string, o Options, seeds []int64) (SeedSweep, err
 	if len(seeds) == 0 {
 		seeds = []int64{1, 2, 3, 4, 5}
 	}
-	var exec, writes stats.Distribution
-	for _, seed := range seeds {
+	if _, err := workload.ByName(workloadName); err != nil {
+		return SeedSweep{}, err
+	}
+	// Two independent simulations per seed (eADR, then BBB), fanned out;
+	// the distributions are accumulated serially in seed order.
+	res := sweep.Map(o.workers(), 2*len(seeds), func(i int) Result {
 		os := o
-		os.Seed = seed
-		eadr, err := Run(workloadName, SchemeEADR, os)
-		if err != nil {
-			return SeedSweep{}, err
+		os.Seed = seeds[i/2]
+		if i%2 == 0 {
+			return MustRun(workloadName, SchemeEADR, os)
 		}
-		bbb, err := Run(workloadName, SchemeBBB, os)
-		if err != nil {
-			return SeedSweep{}, err
-		}
+		return MustRun(workloadName, SchemeBBB, os)
+	})
+	var exec, writes stats.Distribution
+	for si := range seeds {
+		eadr, bbb := res[2*si], res[2*si+1]
 		exec.Observe(stats.Ratio(float64(bbb.Cycles), float64(eadr.Cycles)))
 		writes.Observe(stats.Ratio(float64(bbb.NVMMWrites), float64(eadr.NVMMWrites)))
 	}
@@ -219,13 +250,14 @@ type SchemeRow struct {
 // that memory-side coalescing and skipped writebacks protect NVMM lifetime.
 func RunSchemeComparison(workloadName string, o Options) ([]SchemeRow, error) {
 	o.TrackWear = true
-	var rows []SchemeRow
-	for _, s := range persistencySchemes() {
-		r, err := Run(workloadName, s, o)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, SchemeRow{
+	if _, err := workload.ByName(workloadName); err != nil {
+		return nil, err
+	}
+	schemes := persistencySchemes()
+	rows := sweep.Map(o.workers(), len(schemes), func(i int) SchemeRow {
+		s := schemes[i]
+		r := MustRun(workloadName, s, o)
+		return SchemeRow{
 			Workload:   workloadName,
 			Scheme:     s,
 			Cycles:     r.Cycles,
@@ -233,8 +265,8 @@ func RunSchemeComparison(workloadName string, o Options) ([]SchemeRow, error) {
 			Rejections: r.Rejections,
 			WearMax:    r.Wear.MaxWrites,
 			WearMean:   r.Wear.MeanWrites,
-		})
-	}
+		}
+	})
 	return rows, nil
 }
 
@@ -254,22 +286,26 @@ func RunWPQDepthAblation(workloadName string, o Options, depths []int) ([]WPQDep
 	if len(depths) == 0 {
 		depths = []int{4, 8, 16, 32, 64}
 	}
-	w, err := workload.ByName(workloadName)
-	if err != nil {
+	if _, err := workload.ByName(workloadName); err != nil {
 		return nil, err
 	}
-	var out []WPQDepthPoint
-	for _, d := range depths {
+	// Each point resolves its own workload instance: Setup/Programs mutate
+	// instance state, so concurrent points must never share one.
+	out := sweep.Map(o.workers(), len(depths), func(i int) WPQDepthPoint {
+		w, err := workload.ByName(workloadName)
+		if err != nil {
+			panic(err) // validated above
+		}
 		cfg := o.sysConfig(SchemeBBB)
-		cfg.NVMM.WPQEntries = d
+		cfg.NVMM.WPQEntries = depths[i]
 		r := workload.Run(w, SchemeBBB, cfg, o.params())
-		out = append(out, WPQDepthPoint{
-			Entries:    d,
+		return WPQDepthPoint{
+			Entries:    depths[i],
 			Cycles:     r.Cycles,
 			NVMMWrites: r.NVMMWrites,
 			FullStalls: r.Counters.Get("nvmm.wpq_full_stalls"),
-		})
-	}
+		}
+	})
 	return out, nil
 }
 
@@ -288,17 +324,16 @@ func RunDrainThresholdAblation(workloadName string, o Options, thresholds []floa
 	if len(thresholds) == 0 {
 		thresholds = []float64{0.125, 0.25, 0.5, 0.75, 0.9}
 	}
-	var out []DrainThresholdPoint
-	for _, th := range thresholds {
-		ot := o
-		ot.DrainThreshold = th
-		r, err := Run(workloadName, SchemeBBB, ot)
-		if err != nil {
-			return nil, fmt.Errorf("threshold %.2f: %w", th, err)
-		}
-		out = append(out, DrainThresholdPoint{
-			Threshold: th, Cycles: r.Cycles, NVMMWrites: r.NVMMWrites, Rejections: r.Rejections,
-		})
+	if _, err := workload.ByName(workloadName); err != nil {
+		return nil, fmt.Errorf("threshold %.2f: %w", thresholds[0], err)
 	}
+	out := sweep.Map(o.workers(), len(thresholds), func(i int) DrainThresholdPoint {
+		ot := o
+		ot.DrainThreshold = thresholds[i]
+		r := MustRun(workloadName, SchemeBBB, ot)
+		return DrainThresholdPoint{
+			Threshold: thresholds[i], Cycles: r.Cycles, NVMMWrites: r.NVMMWrites, Rejections: r.Rejections,
+		}
+	})
 	return out, nil
 }

@@ -93,12 +93,24 @@ type Core struct {
 	resume chan uint64
 	quit   chan struct{}
 
-	sb         []sbEntry
-	sbDraining bool
-	sbWaiters  []func() // program stalled on a full SB or SB-empty condition
+	sb          []sbEntry
+	sbDraining  bool
+	sbInFlight  sbEntry // the entry being drained, valid while sbDraining
+	sbDrainDone func()  // preallocated completion for the in-flight drain
+	sbWaiters   []func() // program stalled on a full SB or SB-empty condition
 
 	outstandingClwb int
 	fenceWaiter     func()
+
+	// Preallocated callbacks for the per-instruction schedule sites, so the
+	// hot path (stores, loads, fences) schedules without allocating a fresh
+	// closure per event: replyVal resumes the program with the event's
+	// argument, reply0 with zero, fetchFn blocks for the next instruction,
+	// and fenceReply is the one-cycle fence resume.
+	replyVal   func(uint64)
+	reply0     func()
+	fetchFn    func()
+	fenceReply func()
 
 	done     bool
 	finished engine.Cycle
@@ -115,7 +127,7 @@ func New(id int, cfg Config, eng *engine.Engine, h *coherence.Hierarchy) *Core {
 	if cfg.SBEntries <= 0 {
 		panic("cpu: SBEntries must be positive")
 	}
-	return &Core{
+	c := &Core{
 		id:     id,
 		cfg:    cfg,
 		eng:    eng,
@@ -125,6 +137,24 @@ func New(id int, cfg Config, eng *engine.Engine, h *coherence.Hierarchy) *Core {
 		quit:   make(chan struct{}),
 		Stats:  stats.NewCounters(),
 	}
+	c.replyVal = c.reply
+	c.reply0 = func() { c.reply(0) }
+	c.fetchFn = c.fetch
+	c.fenceReply = func() { c.eng.Schedule(1, c.reply0) }
+	// At most one SB drain is in flight (sbDraining), so a single
+	// preallocated completion closure serves every drain.
+	c.sbDrainDone = func() {
+		for i := range c.sb {
+			if c.sb[i] == c.sbInFlight {
+				c.sb = append(c.sb[:i], c.sb[i+1:]...)
+				break
+			}
+		}
+		c.sbDraining = false
+		c.wakeSBWaiters()
+		c.pumpSB()
+	}
+	return c
 }
 
 // ID returns the core number.
@@ -153,7 +183,7 @@ func (c *Core) Start(run func(Env)) {
 		run(e)
 		e.do(request{kind: reqDone})
 	}()
-	c.eng.Schedule(0, c.fetch)
+	c.eng.Schedule(0, c.fetchFn)
 }
 
 // Stop abandons the workload goroutine; used at crash points and teardown.
@@ -182,7 +212,7 @@ func (c *Core) handle(req request) {
 
 	case reqCompute:
 		c.Stats.Add("core.compute_cycles", uint64(req.cycles))
-		c.eng.Schedule(req.cycles, func() { c.reply(0) })
+		c.eng.Schedule(req.cycles, c.reply0)
 
 	case reqLoad:
 		c.Stats.Inc("core.loads")
@@ -207,9 +237,7 @@ func (c *Core) handle(req request) {
 		// Atomics act as a local fence: the store buffer drains first so
 		// the RMW observes and extends program order.
 		c.waitSBBelow(0, func() {
-			c.h.AtomicCAS(c.id, req.addr, req.size, req.old, req.val, func(prev uint64) {
-				c.reply(prev)
-			})
+			c.h.AtomicCAS(c.id, req.addr, req.size, req.old, req.val, c.replyVal)
 		})
 
 	case reqEpoch:
@@ -253,7 +281,7 @@ func (c *Core) acceptStore(req request, start engine.Cycle) {
 	}
 	c.pumpSB()
 	// A store retires into the SB immediately; charge one issue cycle.
-	c.eng.Schedule(1, func() { c.reply(0) })
+	c.eng.Schedule(1, c.reply0)
 }
 
 // pumpSB drains one buffered store to the L1D at a time: the head in
@@ -273,17 +301,8 @@ func (c *Core) pumpSB() {
 	if idx != 0 {
 		c.Stats.Inc("core.sb_reordered_drains")
 	}
-	c.h.Store(c.id, e.addr, e.size, e.val, func() {
-		for i := range c.sb {
-			if c.sb[i] == e {
-				c.sb = append(c.sb[:i], c.sb[i+1:]...)
-				break
-			}
-		}
-		c.sbDraining = false
-		c.wakeSBWaiters()
-		c.pumpSB()
-	})
+	c.sbInFlight = e
+	c.h.Store(c.id, e.addr, e.size, e.val, c.sbDrainDone)
 }
 
 // pickRelaxedDrain returns the index of the first entry with a locally
@@ -328,7 +347,7 @@ func (c *Core) issueLoad(req request) {
 		e := c.sb[i]
 		if e.addr == req.addr && e.size == req.size {
 			c.Stats.Inc("core.sb_forwards")
-			c.eng.Schedule(1, func() { c.reply(e.val) })
+			c.eng.ScheduleArg(1, c.replyVal, e.val)
 			return
 		}
 		if overlaps(e, req) {
@@ -337,7 +356,7 @@ func (c *Core) issueLoad(req request) {
 			return
 		}
 	}
-	c.h.Load(c.id, req.addr, req.size, func(val uint64) { c.reply(val) })
+	c.h.Load(c.id, req.addr, req.size, c.replyVal)
 }
 
 // waitSBBelow runs fn once the SB has drained to at most n entries.
@@ -377,20 +396,20 @@ func (c *Core) issuePersist(req request) {
 			fn()
 		}
 	})
-	c.eng.Schedule(1, func() { c.reply(0) })
+	c.eng.Schedule(1, c.reply0)
 }
 
 // issueFence blocks the program until every outstanding clwb has reached
 // the persistence domain.
 func (c *Core) issueFence() {
 	if c.outstandingClwb == 0 {
-		c.eng.Schedule(1, func() { c.reply(0) })
+		c.eng.Schedule(1, c.reply0)
 		return
 	}
 	if c.fenceWaiter != nil {
 		panic("cpu: concurrent fences on one core")
 	}
-	c.fenceWaiter = func() { c.eng.Schedule(1, func() { c.reply(0) }) }
+	c.fenceWaiter = c.fenceReply
 }
 
 // --- crash support ---

@@ -4,10 +4,16 @@
 // The kernel is deliberately simple: a binary heap of events ordered by
 // (time, sequence). Events scheduled for the same cycle fire in the order
 // they were scheduled, which makes whole-system runs deterministic.
+//
+// The heap is hand-specialized over the event struct (no container/heap,
+// no interface boxing), so Schedule and Step are allocation-free once the
+// backing array has grown to the run's high-water mark. For the hottest
+// schedule sites, ScheduleArg carries a uint64 argument in the event itself
+// so callers can reuse one long-lived callback instead of allocating a
+// closure per event.
 package engine
 
 import (
-	"container/heap"
 	"fmt"
 
 	"bbb/internal/trace"
@@ -16,36 +22,21 @@ import (
 // Cycle is a point in simulated time, measured in core clock cycles.
 type Cycle = uint64
 
-// Event is a callback scheduled to fire at a particular cycle.
+// event is a callback scheduled to fire at a particular cycle. Exactly one
+// of fn and afn is set; afn receives arg, saving a closure allocation at
+// call sites that would otherwise capture a single word.
 type event struct {
 	when Cycle
 	seq  uint64
 	fn   func()
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	afn  func(uint64)
+	arg  uint64
 }
 
 // Engine is the discrete-event scheduler. The zero value is not usable;
 // construct one with New.
 type Engine struct {
-	pq      eventHeap
+	pq      []event // binary min-heap ordered by (when, seq)
 	now     Cycle
 	seq     uint64
 	stopped bool
@@ -65,13 +56,58 @@ func (e *Engine) EmitTrace(kind trace.Kind, core int, addr, aux uint64) {
 
 // New returns an empty engine at cycle 0.
 func New() *Engine {
-	e := &Engine{}
-	heap.Init(&e.pq)
-	return e
+	return &Engine{}
 }
 
 // Now reports the current simulated cycle.
 func (e *Engine) Now() Cycle { return e.now }
+
+// less orders the heap by (when, seq).
+func (e *Engine) less(i, j int) bool {
+	if e.pq[i].when != e.pq[j].when {
+		return e.pq[i].when < e.pq[j].when
+	}
+	return e.pq[i].seq < e.pq[j].seq
+}
+
+// push inserts ev, sifting it up to its heap position.
+func (e *Engine) push(ev event) {
+	e.pq = append(e.pq, ev)
+	i := len(e.pq) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.pq[i], e.pq[parent] = e.pq[parent], e.pq[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest event. The vacated tail slot is
+// zeroed so the callback (and anything it captures) is released to the GC.
+func (e *Engine) pop() event {
+	top := e.pq[0]
+	n := len(e.pq) - 1
+	e.pq[0] = e.pq[n]
+	e.pq[n] = event{}
+	e.pq = e.pq[:n]
+	i := 0
+	for {
+		smallest := i
+		if l := 2*i + 1; l < n && e.less(l, smallest) {
+			smallest = l
+		}
+		if r := 2*i + 2; r < n && e.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return top
+		}
+		e.pq[i], e.pq[smallest] = e.pq[smallest], e.pq[i]
+		i = smallest
+	}
+}
 
 // Schedule queues fn to run delay cycles from now. A delay of 0 runs fn
 // later in the current cycle, after already-queued same-cycle events.
@@ -80,7 +116,19 @@ func (e *Engine) Schedule(delay Cycle, fn func()) {
 		panic("engine: Schedule called with nil fn")
 	}
 	e.seq++
-	heap.Push(&e.pq, event{when: e.now + delay, seq: e.seq, fn: fn})
+	e.push(event{when: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// ScheduleArg queues fn(arg) to run delay cycles from now, with the same
+// ordering rules as Schedule. It exists for hot paths: a long-lived fn plus
+// a value argument schedules with zero allocations, where Schedule would
+// force the caller to allocate a fresh capturing closure per event.
+func (e *Engine) ScheduleArg(delay Cycle, fn func(uint64), arg uint64) {
+	if fn == nil {
+		panic("engine: ScheduleArg called with nil fn")
+	}
+	e.seq++
+	e.push(event{when: e.now + delay, seq: e.seq, afn: fn, arg: arg})
 }
 
 // At queues fn to run at the absolute cycle when, which must not be in the
@@ -96,21 +144,25 @@ func (e *Engine) At(when Cycle, fn func()) {
 func (e *Engine) Stop() { e.stopped = true }
 
 // Pending reports the number of queued events.
-func (e *Engine) Pending() int { return e.pq.Len() }
+func (e *Engine) Pending() int { return len(e.pq) }
 
 // Step executes the single earliest event, advancing the clock to its time.
 // It reports whether an event was executed.
 func (e *Engine) Step() bool {
-	if e.pq.Len() == 0 {
+	if len(e.pq) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.pq).(event)
+	ev := e.pop()
 	if ev.when < e.now {
 		panic("engine: time went backwards")
 	}
 	e.now = ev.when
 	e.Dispatched++
-	ev.fn()
+	if ev.afn != nil {
+		ev.afn(ev.arg)
+	} else {
+		ev.fn()
+	}
 	return true
 }
 
@@ -126,7 +178,7 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(limit Cycle) {
 	e.stopped = false
 	for !e.stopped {
-		if e.pq.Len() == 0 || e.pq[0].when > limit {
+		if len(e.pq) == 0 || e.pq[0].when > limit {
 			return
 		}
 		e.Step()

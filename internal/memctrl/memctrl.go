@@ -96,6 +96,10 @@ type Controller struct {
 	wpq     []wpqEntry
 	waiters []pendingWrite // writes stalled on a full WPQ
 
+	// drainDone is the preallocated medium-write completion (stat + trace)
+	// shared by every WPQ drain; the drained address rides in the event.
+	drainDone func(addr uint64)
+
 	// Stats collects controller counters, prefixed with the config name.
 	Stats *stats.Counters
 }
@@ -105,13 +109,18 @@ func New(cfg Config, eng *engine.Engine, mem *memory.Memory) *Controller {
 	if cfg.Channels <= 0 {
 		panic("memctrl: Channels must be positive")
 	}
-	return &Controller{
+	c := &Controller{
 		cfg:      cfg,
 		eng:      eng,
 		mem:      mem,
 		chanFree: make([]engine.Cycle, cfg.Channels),
 		Stats:    stats.NewCounters(),
 	}
+	c.drainDone = func(addr uint64) {
+		c.Stats.Inc(c.counter("wpq_drains"))
+		c.eng.EmitTrace(trace.KindWPQDrain, -1, addr, 0)
+	}
+	return c
 }
 
 // Config returns the controller's configuration.
@@ -277,10 +286,7 @@ func (c *Controller) drainEntry(i int) {
 		c.admitWaiters()
 		c.maybeDrain()
 	})
-	c.eng.At(start+c.cfg.WriteLat, func() {
-		c.Stats.Inc(c.counter("wpq_drains"))
-		c.eng.EmitTrace(trace.KindWPQDrain, -1, addr, 0)
-	})
+	c.eng.ScheduleArg(start+c.cfg.WriteLat-c.eng.Now(), c.drainDone, addr)
 }
 
 func (c *Controller) wpqRemove(addr memory.Addr) {

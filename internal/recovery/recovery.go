@@ -15,6 +15,7 @@ import (
 
 	"bbb/internal/engine"
 	"bbb/internal/persistency"
+	"bbb/internal/sweep"
 	"bbb/internal/system"
 	"bbb/internal/workload"
 )
@@ -29,6 +30,12 @@ type CampaignConfig struct {
 	FirstCrash engine.Cycle
 	Step       engine.Cycle
 	Points     int
+	// Parallel bounds how many crash points run concurrently (each on a
+	// fresh machine and workload instance). <= 1 is serial; the report is
+	// identical either way. Workloads not in the registry (no ByName
+	// lookup) always run serially, since points would otherwise share one
+	// instance.
+	Parallel int
 }
 
 // Outcome is one crash point's result.
@@ -62,18 +69,35 @@ func (c CampaignConfig) Run() Report {
 		Workload: c.Workload.Name(),
 		Barriers: !c.Params.NoBarriers,
 	}
-	for i := 0; i < c.Points; i++ {
+	// Setup and Programs mutate workload-instance state, so concurrent
+	// points each resolve a private instance by name. A workload outside
+	// the registry cannot be re-resolved and forces a serial sweep.
+	workers := c.Parallel
+	if workers > 1 {
+		if _, err := workload.ByName(c.Workload.Name()); err != nil {
+			workers = 1
+		}
+	}
+	rep.Outcomes = sweep.Map(workers, c.Points, func(i int) Outcome {
+		w := c.Workload
+		if workers > 1 {
+			w, _ = workload.ByName(c.Workload.Name())
+		}
 		crashAt := c.FirstCrash + engine.Cycle(i)*c.Step
-		sys, drain, finished := workload.RunToCrash(c.Workload, c.Scheme, c.System, c.Params, crashAt)
+		sys, drain, finished := workload.RunToCrash(w, c.Scheme, c.System, c.Params, crashAt)
 		out := Outcome{CrashCycle: crashAt, Finished: finished, Drain: drain}
-		if err := c.Workload.Check(sys.Mem); err != nil {
+		if err := w.Check(sys.Mem); err != nil {
 			out.Err = err
+		}
+		return out
+	})
+	for _, out := range rep.Outcomes {
+		if out.Err != nil {
 			rep.Inconsistent++
 		}
-		if n := drain.Lines(); n > rep.DrainedLinesMax {
+		if n := out.Drain.Lines(); n > rep.DrainedLinesMax {
 			rep.DrainedLinesMax = n
 		}
-		rep.Outcomes = append(rep.Outcomes, out)
 	}
 	return rep
 }

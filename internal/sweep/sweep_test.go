@@ -1,0 +1,83 @@
+package sweep
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversAllIndicesOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 100
+		var hits [n]atomic.Int32
+		Run(workers, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestRunZeroTasks(t *testing.T) {
+	Run(4, 0, func(int) { t.Fatal("task ran for n=0") })
+	Run(4, -3, func(int) { t.Fatal("task ran for n<0") })
+}
+
+func TestMapIndexOrder(t *testing.T) {
+	got := Map(8, 50, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("slot %d = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+// Parallel results must be identical to the serial loop's, slot by slot.
+func TestParallelMatchesSerial(t *testing.T) {
+	task := func(i int) uint64 {
+		// A deterministic per-index computation with per-task state.
+		v := uint64(i + 1)
+		for k := 0; k < 1000; k++ {
+			v = v*6364136223846793005 + 1442695040888963407
+		}
+		return v
+	}
+	serial := Map(1, 64, task)
+	parallel := Map(16, 64, task)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("slot %d: serial %d != parallel %d", i, serial[i], parallel[i])
+		}
+	}
+}
+
+// The lowest-indexed panic wins, matching what a serial loop surfaces first.
+func TestRunPanicPropagation(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic not propagated")
+		}
+		if r != "boom-3" {
+			t.Fatalf("propagated %v, want boom-3 (lowest failing index)", r)
+		}
+	}()
+	Run(4, 16, func(i int) {
+		if i == 3 || i == 11 {
+			panic("boom-" + string(rune('0'+i%10)))
+		}
+	})
+}
+
+func TestRunSerialPanicUnwrapped(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "serial" {
+			t.Fatalf("recover() = %v, want serial", r)
+		}
+	}()
+	Run(1, 3, func(i int) {
+		if i == 1 {
+			panic("serial")
+		}
+	})
+}
