@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race invariant fuzz-short check bench-json
+.PHONY: all build test vet race invariant fuzz-short mc-short check bench-json
 
 all: check
 
@@ -34,8 +34,8 @@ invariant:
 # record them as the next BENCH_<n>.json. Non-gating; CI uploads the file
 # as an artifact so regressions are visible across PRs.
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkFig7aExecutionTime|BenchmarkEngineKernel' \
-		-benchmem . ./internal/engine \
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkFig7aExecutionTime|BenchmarkEngineKernel|BenchmarkCrashMCEnumerate' \
+		-benchmem . ./internal/engine ./internal/crashmc \
 		| $(GO) run ./cmd/benchjson > BENCH_$$(ls BENCH_*.json 2>/dev/null | wc -l).json
 	@ls BENCH_*.json | tail -1
 
@@ -44,5 +44,11 @@ fuzz-short:
 	$(GO) test -run=^$$ -fuzz=FuzzCacheOps -fuzztime=10s ./internal/cache
 	$(GO) test -run=^$$ -fuzz=FuzzCrashPoints -fuzztime=10s ./internal/workload
 
+# Crash-image model checking at short bounds: the bbbmc acceptance matrix
+# (battery schemes single-image, PMEM Figures 2/3 over the whole reachable
+# space) exits non-zero on any expectation failure.
+mc-short:
+	$(GO) run ./cmd/bbbmc -points 4
+
 # Tier-1.5: everything above.
-check: build test vet race invariant
+check: build test vet race invariant mc-short

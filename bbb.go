@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"io"
 
+	"bbb/internal/crashmc"
 	"bbb/internal/engine"
 	"bbb/internal/invariant"
 	"bbb/internal/persistency"
@@ -252,8 +253,56 @@ func CrashCampaign(workloadName string, s Scheme, o Options, points int, first, 
 	return cc.Run(), nil
 }
 
+// MCBounds prune a model-checking campaign's per-point enumeration; the
+// zero value uses the crashmc defaults.
+type MCBounds = crashmc.Bounds
+
+// MCReport aggregates a model-checking campaign.
+type MCReport = crashmc.Report
+
+// MCWitness is a minimized, replayable crash-consistency violation.
+type MCWitness = crashmc.Witness
+
+// ModelCheck explores every reachable durable image at a sweep of crash
+// points: where CrashCampaign validates the one deterministic flush-on-
+// fail image per crash, ModelCheck enumerates the scheme's full legal
+// survival-set space (within b) and checks recovery against each image.
+// See internal/crashmc and docs/ARCHITECTURE.md §10.
+func ModelCheck(workloadName string, s Scheme, o Options, points int, first, step engine.Cycle, b MCBounds) (MCReport, error) {
+	w, err := workload.ByName(workloadName)
+	if err != nil {
+		return MCReport{}, err
+	}
+	mc := crashmc.Config{
+		Workload:   w,
+		Scheme:     s,
+		System:     o.sysConfig(s),
+		Params:     o.params(),
+		FirstCrash: first,
+		Step:       step,
+		Points:     points,
+		Parallel:   o.workers(),
+		Bounds:     b,
+	}
+	return mc.Run(), nil
+}
+
+// ParseWitness decodes a witness produced by bbbmc -witness-out.
+func ParseWitness(data []byte) (*MCWitness, error) { return crashmc.ParseWitness(data) }
+
+// ReplayWitness rebuilds the witnessed machine and re-checks the exact
+// surviving-write subset the witness pins (bbbmc -repro).
+func ReplayWitness(w *MCWitness) (crashmc.ReplayOutcome, error) { return crashmc.Replay(w) }
+
 // SchemeTraits returns the Table I qualitative row for a scheme.
 func SchemeTraits(s Scheme) persistency.Traits { return persistency.TraitsOf(s) }
+
+// GuaranteesConsistency reports whether a scheme promises crash-consistent
+// recovery for the given program variant (see recovery.GuaranteesConsistency):
+// inconsistency under a guaranteeing combination is a simulator bug.
+func GuaranteesConsistency(s Scheme, barriers bool) bool {
+	return recovery.GuaranteesConsistency(s, barriers)
+}
 
 // Version identifies the reproduction, not the paper.
 const Version = "1.0.0"

@@ -1,0 +1,30 @@
+package crashmc
+
+import (
+	"testing"
+
+	"bbb/internal/persistency"
+	"bbb/internal/workload"
+)
+
+// BenchmarkCrashMCEnumerate measures enumeration throughput over a real
+// captured pending set (PMEM, no barriers — the largest reachable space
+// of the acceptance matrix). `make bench-json` records images/s in the
+// BENCH_<n>.json trail.
+func BenchmarkCrashMCEnumerate(b *testing.B) {
+	c := mcConfig(workload.NewLinkedList(), persistency.PMEM, true)
+	const crashAt = 16_000
+	sys, finished := workload.BuildToCrash(c.Workload, c.Scheme, c.System, c.Params, crashAt)
+	rec := Capture(sys, crashAt, finished)
+	if len(rec.Pending) == 0 {
+		b.Fatal("no pending writes captured; the benchmark would enumerate nothing")
+	}
+	bounds := DefaultBounds()
+	images := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enum := Enumerate(rec, bounds)
+		images += len(enum.Images)
+	}
+	b.ReportMetric(float64(images)/b.Elapsed().Seconds(), "images/s")
+}

@@ -310,6 +310,22 @@ func (c *Controller) admitWaiters() {
 // WPQOccupancy reports the current number of WPQ entries.
 func (c *Controller) WPQOccupancy() int { return len(c.wpq) }
 
+// PendingLines returns the addresses of every line currently queued in the
+// WPQ plus writes stalled behind a full WPQ, in queue order (oldest first,
+// stalled writers last). These lines are inside the ADR persistence domain:
+// every one of them survives every crash. The crash-image model checker's
+// recorder uses this to report the domain-resident pending set.
+func (c *Controller) PendingLines() []memory.Addr {
+	out := make([]memory.Addr, 0, len(c.wpq)+len(c.waiters))
+	for i := range c.wpq {
+		out = append(out, c.wpq[i].addr)
+	}
+	for i := range c.waiters {
+		out = append(out, c.waiters[i].addr)
+	}
+	return out
+}
+
 // CrashDrain flushes every WPQ entry (and any stalled writers) straight to
 // the memory image, as the ADR battery would on power failure. It returns
 // the number of lines drained. Timing-free: used only at crash points and at

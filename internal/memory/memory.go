@@ -7,7 +7,10 @@
 // crash is exactly what post-crash recovery code would observe.
 package memory
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Addr is a physical byte address.
 type Addr = uint64
@@ -197,6 +200,31 @@ func (m *Memory) Poke(a Addr, b []byte) {
 
 // TouchedPages reports how many distinct pages have been materialized.
 func (m *Memory) TouchedPages() int { return len(m.pages) }
+
+// Clone returns a deep copy of the memory contents with fresh accounting
+// (Writes/Reads/wear start at zero). The crash-image model checker clones
+// the post-drain image once per crash point and mutates the copy.
+func (m *Memory) Clone() *Memory {
+	c := &Memory{layout: m.layout, pages: make(map[Addr]*[PageSize]byte, len(m.pages))}
+	//bbbvet:ignore detlint independent per-page copies into a fresh map; order cannot matter
+	for base, p := range m.pages {
+		cp := *p
+		c.pages[base] = &cp
+	}
+	return c
+}
+
+// PageBases returns the base addresses of every materialized page, sorted.
+// Deterministic inspection order for image hashing and diffing.
+func (m *Memory) PageBases() []Addr {
+	bases := make([]Addr, 0, len(m.pages))
+	//bbbvet:ignore detlint key collection for sorting; order-insensitive
+	for base := range m.pages {
+		bases = append(bases, base)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	return bases
+}
 
 func (m *Memory) mustAligned(a Addr) {
 	if a%LineSize != 0 {

@@ -31,6 +31,55 @@ func (r DrainReport) Lines() int {
 // Bytes returns the drained payload in bytes.
 func (r DrainReport) Bytes() int { return r.Lines() * memory.LineSize }
 
+// VPBEntry is one still-buffered volatile-persist-buffer record (BEP), as
+// seen by the crash-image model checker's recorder. Entries whose drain is
+// already in flight are excluded: the controller applies a write's data the
+// moment Write is called, so an in-flight drain has already reached the WPQ
+// and is part of the deterministic post-crash image.
+type VPBEntry struct {
+	Addr  memory.Addr
+	Data  [memory.LineSize]byte
+	Epoch uint64
+}
+
+// VPBSnapshot returns, per core, a copy of the volatile persist-buffer
+// entries still pending at this instant, in allocation order (epochs
+// non-decreasing). Non-BEP schemes return nil. These are exactly the writes
+// a crash loses under the deterministic drain but that real BEP hardware
+// may have drained further: any epoch-downward-closed subset of them is a
+// legal extra survival set (epoch prefix plus same-epoch reorder).
+func (m *Model) VPBSnapshot() [][]VPBEntry {
+	if m.Scheme != BEP {
+		return nil
+	}
+	out := make([][]VPBEntry, len(m.vpbs))
+	for c, v := range m.vpbs {
+		for i := range v.entries {
+			if v.entries[i].draining {
+				continue
+			}
+			out[c] = append(out[c], VPBEntry{
+				Addr:  v.entries[i].addr,
+				Data:  v.entries[i].data,
+				Epoch: v.entries[i].epoch,
+			})
+		}
+	}
+	return out
+}
+
+// BufferedLines counts the lines currently resident in the scheme's
+// battery-backed persist buffers (bbPB organizations). They are inside the
+// persistence domain — all of them survive every crash — so the recorder
+// reports them as domain-resident rather than enumerable.
+func (m *Model) BufferedLines() int {
+	n := 0
+	for _, b := range m.Buffers {
+		b.ForEachEntry(func(memory.Addr, uint64, bool) { n++ })
+	}
+	return n
+}
+
 // CrashDrain performs the scheme's flush-on-fail at the instant of a crash,
 // mutating the NVMM image exactly as the battery-powered drain would. The
 // simulation must already be stopped; no simulated time passes.

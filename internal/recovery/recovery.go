@@ -102,6 +102,17 @@ func (c CampaignConfig) Run() Report {
 	return rep
 }
 
+// GuaranteesConsistency reports whether a scheme promises a consistent
+// durable image for the given program variant: the battery-complete
+// schemes (eADR, BBB, BBBProc, NVCache — the store buffer already sits
+// inside the persistence domain) need no barriers at all, while PMEM and
+// BEP only guarantee recovery when the program's barriers are present.
+// An inconsistent campaign under a guaranteeing combination is a
+// simulator bug, not an expected Figure 2 outcome.
+func GuaranteesConsistency(s persistency.Scheme, barriers bool) bool {
+	return persistency.TraitsOf(s).BatteryBackedSB || barriers
+}
+
 // String summarizes the report for CLIs.
 func (r Report) String() string {
 	mode := "with barriers"

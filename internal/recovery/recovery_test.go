@@ -117,6 +117,95 @@ func TestDrainBudgetBBBBounded(t *testing.T) {
 	}
 }
 
+func TestCrashAtCycleZero(t *testing.T) {
+	// A power failure before the first event: the durable image is exactly
+	// what Setup wrote, which every checker must accept, and flush-on-fail
+	// has nothing to drain.
+	for _, s := range []persistency.Scheme{persistency.PMEM, persistency.BBB, persistency.BEP} {
+		cc := campaignConfig(workload.NewLinkedList(), s, true)
+		cc.FirstCrash = 0
+		cc.Points = 1
+		rep := cc.Run()
+		if rep.Inconsistent != 0 {
+			o, _ := rep.FirstFailure()
+			t.Errorf("%v: pristine setup image inconsistent: %v", s, o.Err)
+		}
+		if rep.Outcomes[0].Finished {
+			t.Errorf("%v: nothing ran, yet the workload reports finished", s)
+		}
+		if rep.DrainedLinesMax != 0 {
+			t.Errorf("%v: drained %d lines before any event executed", s, rep.DrainedLinesMax)
+		}
+	}
+}
+
+func TestCrashAfterWorkloadFinished(t *testing.T) {
+	// The crash point lands after completion: the run finishes, every
+	// store has long reached its domain, and the final image checks out.
+	for _, s := range []persistency.Scheme{persistency.PMEM, persistency.BBB} {
+		cc := campaignConfig(workload.NewLinkedList(), s, s != persistency.PMEM)
+		cc.Params.OpsPerThread = 40
+		cc.FirstCrash = 50_000_000
+		cc.Points = 1
+		rep := cc.Run()
+		out := rep.Outcomes[0]
+		if !out.Finished {
+			t.Fatalf("%v: workload did not finish before cycle %d", s, cc.FirstCrash)
+		}
+		if out.Err != nil {
+			t.Errorf("%v: completed run's image inconsistent: %v", s, out.Err)
+		}
+	}
+}
+
+func TestCrashMidForcedDrain(t *testing.T) {
+	// Caches far smaller than the working set force LLC evictions of
+	// bbPB-owned lines, so crashes land mid-forced-drain. Recovery must
+	// still hold, and the flush-on-fail payload must stay within the
+	// battery budget (per-core bbPBs + WPQ + waiters + store buffers)
+	// while actually exercising the drain path.
+	cc := campaignConfig(workload.NewLinkedList(), persistency.BBB, true)
+	cc.System.Hierarchy.L1Size = 512
+	cc.System.Hierarchy.L2Size = 1024
+	cc.Points = 16
+	cc.Step = 3_000
+	rep := cc.Run()
+	if rep.Inconsistent != 0 {
+		o, _ := rep.FirstFailure()
+		t.Fatalf("BBB inconsistent mid-forced-drain at cycle %d: %v", o.CrashCycle, o.Err)
+	}
+	budget := 4*32 + 32 + 32 + 4*32
+	if rep.DrainedLinesMax > budget {
+		t.Fatalf("drained %d lines, exceeding the battery budget %d", rep.DrainedLinesMax, budget)
+	}
+	if rep.DrainedLinesMax == 0 {
+		t.Fatal("no crash point caught in-flight lines; the sweep missed every forced drain")
+	}
+}
+
+func TestGuaranteesConsistency(t *testing.T) {
+	cases := []struct {
+		scheme   persistency.Scheme
+		barriers bool
+		want     bool
+	}{
+		{persistency.PMEM, true, true},
+		{persistency.PMEM, false, false}, // Figure 2
+		{persistency.BEP, true, true},
+		{persistency.BEP, false, false},
+		{persistency.EADR, false, true},
+		{persistency.BBB, false, true},
+		{persistency.BBBProc, false, true},
+		{persistency.NVCache, false, true},
+	}
+	for _, tc := range cases {
+		if got := GuaranteesConsistency(tc.scheme, tc.barriers); got != tc.want {
+			t.Errorf("GuaranteesConsistency(%v, barriers=%v) = %v, want %v",
+				tc.scheme, tc.barriers, got, tc.want)
+		}
+	}
+}
+
 func TestReportString(t *testing.T) {
 	rep := campaignConfig(workload.NewLinkedList(), persistency.BBB, true).Run()
 	if rep.String() == "" {

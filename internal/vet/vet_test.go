@@ -5,6 +5,11 @@ import (
 	"testing"
 
 	"bbb/internal/vet"
+	"bbb/internal/vet/cyclelint"
+	"bbb/internal/vet/detlint"
+	"bbb/internal/vet/locklint"
+	"bbb/internal/vet/persistlint"
+	"bbb/internal/vet/statlint"
 )
 
 // TestMalformedIgnoreReported checks the framework's own escape-hatch
@@ -20,6 +25,35 @@ func TestMalformedIgnoreReported(t *testing.T) {
 	}
 	if d := diags[0]; d.Analyzer != "bbbvet" || !strings.Contains(d.Message, "malformed ignore directive") {
 		t.Fatalf("unexpected diagnostic: %s", d)
+	}
+}
+
+// TestCrashMCZeroSuppressions pins the crash-image model checker to the
+// strictest bar the suite offers: the full analyzer set over
+// internal/crashmc must report nothing — not even suppressed findings.
+// The enumerator's output feeds golden-count tests and byte-identical
+// parallel-fan-out comparisons, so map-order or wall-clock leaks there
+// are correctness bugs, and unlike internal/memory it has no excuse for
+// an ignore directive.
+func TestCrashMCZeroSuppressions(t *testing.T) {
+	pkgs, fset, err := vet.Load("", "bbb/internal/crashmc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzers := []*vet.Analyzer{
+		locklint.Analyzer, detlint.Analyzer, statlint.Analyzer,
+		cyclelint.Analyzer, persistlint.Analyzer,
+	}
+	diags, err := vet.RunAll(pkgs, fset, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if d.Ignored {
+			t.Errorf("crashmc carries a suppression (the package must stay clean without them): %s", d)
+		} else {
+			t.Errorf("crashmc finding: %s", d)
+		}
 	}
 }
 

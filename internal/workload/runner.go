@@ -28,12 +28,23 @@ func Run(w Workload, s persistency.Scheme, cfg system.Config, p Params) system.R
 	return sys.Run(progs)
 }
 
+// BuildToCrash executes the workload until crashCycle (or completion,
+// whichever comes first) and returns the stopped-but-not-yet-crashed
+// machine, with caches, persist buffers and WPQ still holding their
+// in-flight state. The crash-image model checker captures the pending
+// persistence-domain writes from this state before performing the
+// flush-on-fail itself; plain crash injection calls System.Crash directly.
+func BuildToCrash(w Workload, s persistency.Scheme, cfg system.Config, p Params, crashCycle engine.Cycle) (*system.System, bool) {
+	sys, progs := Build(w, s, cfg, p)
+	finished := sys.RunUntil(crashCycle, progs)
+	return sys, finished
+}
+
 // RunToCrash executes the workload, crashes it at crashCycle (or lets it
 // finish if it completes first), performs the scheme's flush-on-fail, and
 // returns the machine for image inspection plus the drain report.
 func RunToCrash(w Workload, s persistency.Scheme, cfg system.Config, p Params, crashCycle engine.Cycle) (*system.System, persistency.DrainReport, bool) {
-	sys, progs := Build(w, s, cfg, p)
-	finished := sys.RunUntil(crashCycle, progs)
+	sys, finished := BuildToCrash(w, s, cfg, p, crashCycle)
 	rep := sys.Crash()
 	return sys, rep, finished
 }
