@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race invariant fuzz-short mc-short check bench-json
+.PHONY: all build test vet race invariant fuzz-short mc-short trace-smoke check bench-json
 
 all: check
 
@@ -34,10 +34,27 @@ invariant:
 # record them as the next BENCH_<n>.json. Non-gating; CI uploads the file
 # as an artifact so regressions are visible across PRs.
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkFig7aExecutionTime|BenchmarkEngineKernel|BenchmarkCrashMCEnumerate' \
-		-benchmem . ./internal/engine ./internal/crashmc \
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkFig7aExecutionTime|BenchmarkEngineKernel|BenchmarkCrashMCEnumerate|BenchmarkTraceOverhead' \
+		-benchmem . ./internal/engine ./internal/crashmc ./internal/trace \
 		| $(GO) run ./cmd/benchjson > BENCH_$$(ls BENCH_*.json 2>/dev/null | wc -l).json
 	@ls BENCH_*.json | tail -1
+
+# Observability smoke: drive the full cmd/bbbtrace pipeline end to end —
+# record the same run twice (streams must be byte-identical), filter by
+# kind (exercising the JSONL re-parse), replay durability provenance
+# offline, and export to Perfetto JSON. See docs/ARCHITECTURE.md §11.
+trace-smoke:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/bbbtrace record -workload hashmap -scheme bbb -ops 100 -o $$tmp/a.jsonl; \
+	$(GO) run ./cmd/bbbtrace record -workload hashmap -scheme bbb -ops 100 -o $$tmp/b.jsonl >/dev/null; \
+	cmp -s $$tmp/a.jsonl $$tmp/b.jsonl || { echo "trace-smoke: FAIL: same seed, different streams"; exit 1; }; \
+	$(GO) run ./cmd/bbbtrace filter -i $$tmp/a.jsonl -kind pb-alloc -o $$tmp/alloc.jsonl 2>/dev/null; \
+	test -s $$tmp/alloc.jsonl || { echo "trace-smoke: FAIL: no pb-alloc events under bbb"; exit 1; }; \
+	$(GO) run ./cmd/bbbtrace summarize -i $$tmp/a.jsonl -scheme bbb | grep -q 'unresolved stores   0' \
+		|| { echo "trace-smoke: FAIL: bbb left stores unresolved"; exit 1; }; \
+	$(GO) run ./cmd/bbbtrace export -i $$tmp/a.jsonl -o $$tmp/a.json >/dev/null; \
+	grep -q '"traceEvents"' $$tmp/a.json || { echo "trace-smoke: FAIL: export missing traceEvents"; exit 1; }; \
+	echo "trace-smoke: ok"
 
 # A bounded pass over every fuzz target.
 fuzz-short:
@@ -51,4 +68,4 @@ mc-short:
 	$(GO) run ./cmd/bbbmc -points 4
 
 # Tier-1.5: everything above.
-check: build test vet race invariant mc-short
+check: build test vet race invariant mc-short trace-smoke

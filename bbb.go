@@ -34,6 +34,7 @@ import (
 	"bbb/internal/persistency"
 	"bbb/internal/recovery"
 	"bbb/internal/system"
+	"bbb/internal/trace"
 	"bbb/internal/workload"
 )
 
@@ -87,6 +88,9 @@ type Options struct {
 	// events (persist commits, bbPB traffic, coherence actions, WPQ
 	// activity) for inspection via Machine.DumpTrace or bbbsim -trace.
 	TraceCapacity int
+	// TraceFull retains the entire event stream instead of a bounded tail
+	// (needed for Perfetto export and offline provenance analysis).
+	TraceFull bool
 	// StorePrefetch enables request-for-ownership prefetching of buffered
 	// stores' lines, recovering some of the memory-level parallelism an
 	// out-of-order core would have (the in-order store-buffer drain is the
@@ -147,6 +151,7 @@ func (o Options) sysConfig(s Scheme) system.Config {
 	}
 	cfg.TrackWear = o.TrackWear
 	cfg.TraceCapacity = o.TraceCapacity
+	cfg.TraceFull = o.TraceFull
 	cfg.Core.StorePrefetch = o.StorePrefetch
 	cfg.Core.RelaxedSBDrain = o.RelaxedConsistency
 	return cfg
@@ -229,6 +234,54 @@ func RunTraced(workloadName string, s Scheme, o Options, w io.Writer) (Result, e
 	res := sys.Run(progs)
 	if rec := sys.Trace(); rec != nil && w != nil {
 		rec.Dump(w)
+	}
+	return res, nil
+}
+
+// RunStreaming is Run with full tracing on: every microarchitectural event
+// streams to w as a JSON line while the run executes, and the result
+// carries the histogram/gauge metrics and durability provenance
+// (Result.Metrics, Result.DurabilitySummary). Use cmd/bbbtrace to filter,
+// summarize or export the stream.
+func RunStreaming(workloadName string, s Scheme, o Options, w io.Writer) (Result, error) {
+	wl, err := workload.ByName(workloadName)
+	if err != nil {
+		return Result{}, err
+	}
+	o.TraceFull = true
+	cfg := o.sysConfig(s)
+	sink := trace.NewJSONL(w)
+	cfg.TraceSink = sink
+	sys, progs := workload.Build(wl, s, cfg, o.params())
+	defer sys.Shutdown()
+	res := sys.Run(progs)
+	if err := sys.Trace().Flush(); err != nil {
+		return res, fmt.Errorf("bbb: flushing trace stream: %w", err)
+	}
+	return res, nil
+}
+
+// CrashTraced runs workloadName under s with full tracing, crashes it at
+// crashCycle and performs the scheme's flush-on-fail, streaming every
+// event — including the crash-drain ones — to w as JSON lines. The result
+// shows, via provenance, which visible stores only became durable because
+// of the battery (and, for volatile designs, which never did).
+func CrashTraced(workloadName string, s Scheme, o Options, crashCycle Cycle, w io.Writer) (Result, error) {
+	wl, err := workload.ByName(workloadName)
+	if err != nil {
+		return Result{}, err
+	}
+	o.TraceFull = true
+	cfg := o.sysConfig(s)
+	sink := trace.NewJSONL(w)
+	cfg.TraceSink = sink
+	sys, progs := workload.Build(wl, s, cfg, o.params())
+	defer sys.Shutdown()
+	sys.RunUntil(crashCycle, progs)
+	sys.Crash()
+	res := sys.ResultAfterCrash()
+	if err := sys.Trace().Flush(); err != nil {
+		return res, fmt.Errorf("bbb: flushing trace stream: %w", err)
 	}
 	return res, nil
 }

@@ -38,8 +38,36 @@ func main() {
 		threads  = flag.Int("threads", 4, "threads/cores")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent crash points per campaign (1 = serial; reports are identical either way)")
 		quiet    = flag.Bool("quiet", false, "suppress per-campaign detail; print only the summary and failures")
+		traceOut = flag.String("trace-out", "", "trace ONE crash (at -first, single -workload/-scheme) as JSON lines to this file instead of sweeping")
 	)
 	flag.Parse()
+
+	if *traceOut != "" {
+		if *wl == "" || *scheme == "" {
+			log.Fatal("-trace-out needs explicit -workload and -scheme")
+		}
+		s, err := bbb.ParseScheme(*scheme)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		o := bbb.Options{Threads: *threads, OpsPerThread: *ops, L1Size: 1024, L2Size: 4096}
+		res, err := bbb.CrashTraced(*wl, s, o, bbb.Cycle(*first), f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("traced crash of %s/%s at cycle %d to %s\n", *wl, s, *first, *traceOut)
+		fmt.Println(res.DurabilitySummary())
+		fmt.Printf("resolved stores     %d (crash-drain resolutions included)\n", res.Counters.Get("persist.resolved_stores"))
+		fmt.Printf("unresolved stores   %d (visible but never durable: lost at the crash)\n", res.Counters.Get("persist.unresolved_stores"))
+		return
+	}
 
 	type cell struct {
 		scheme     bbb.Scheme

@@ -46,6 +46,7 @@ func main() {
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulations for workload/scheme lists (1 = serial; output is identical either way)")
 		verbose    = flag.Bool("verbose", false, "dump all component counters")
 		traceN     = flag.Int("trace", 0, "dump the last N microarchitectural events after the run")
+		traceOut   = flag.String("trace-out", "", "stream the full event trace as JSON lines to this file (see cmd/bbbtrace)")
 		check      = flag.Bool("check", false, "audit coherence and bbPB invariants every 1000 cycles (see internal/invariant)")
 	)
 	flag.Parse()
@@ -71,21 +72,38 @@ func main() {
 		Seed:           *seed,
 	}
 
-	if *check || *traceN > 0 {
+	if *check || *traceN > 0 || *traceOut != "" {
 		if len(combos) > 1 {
-			log.Fatal("-check and -trace need a single workload/scheme combination")
+			log.Fatal("-check, -trace and -trace-out need a single workload/scheme combination")
 		}
-		if *check && *traceN > 0 {
-			log.Fatal("-check and -trace are mutually exclusive")
+		exclusive := 0
+		for _, on := range []bool{*check, *traceN > 0, *traceOut != ""} {
+			if on {
+				exclusive++
+			}
+		}
+		if exclusive > 1 {
+			log.Fatal("-check, -trace and -trace-out are mutually exclusive")
 		}
 		c := combos[0]
 		var (
 			res bbb.Result
 			err error
 		)
-		if *check {
+		switch {
+		case *check:
 			res, err = bbb.RunChecked(c.workload, c.scheme, o, 0)
-		} else {
+		case *traceOut != "":
+			var f *os.File
+			f, err = os.Create(*traceOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err = bbb.RunStreaming(c.workload, c.scheme, o, f)
+			if err == nil {
+				err = f.Close()
+			}
+		default:
 			o.TraceCapacity = *traceN
 			fmt.Printf("--- last %d microarchitectural events ---\n", *traceN)
 			res, err = bbb.RunTraced(c.workload, c.scheme, o, os.Stdout)
@@ -130,8 +148,17 @@ func printResult(c combo, o bbb.Options, res bbb.Result, verbose bool) {
 	fmt.Printf("skipped writebacks  %d\n", res.SkippedWritebacks)
 	fmt.Printf("SB stall cycles     %d\n", res.StallCycles)
 	fmt.Printf("dirty cache lines   %.1f%% (paper assumes 44.9%% for eADR estimates)\n", 100*res.DirtyFraction)
+	if res.Metrics != nil {
+		fmt.Printf("durability          %s\n", res.DurabilitySummary())
+		fmt.Printf("provenance          %d stores resolved durable, %d never observed durable\n",
+			res.Counters.Get("persist.resolved_stores"), res.Counters.Get("persist.unresolved_stores"))
+	}
 	if verbose {
 		fmt.Println("\ncomponent counters:")
 		fmt.Fprint(os.Stdout, res.Counters.StringWith(stats.Glossary))
+		if res.Metrics != nil {
+			fmt.Println("\nhistograms and gauges:")
+			fmt.Fprint(os.Stdout, res.Metrics.StringWith(stats.Glossary))
+		}
 	}
 }

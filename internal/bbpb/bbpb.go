@@ -86,6 +86,7 @@ type PersistBuffer interface {
 type entry struct {
 	addr     memory.Addr
 	seq      uint64
+	alloc    engine.Cycle // cycle the entry was allocated, for residency stats
 	data     [memory.LineSize]byte
 	draining bool
 }
@@ -132,18 +133,19 @@ func (b *Buffer) Put(addr memory.Addr, data *[memory.LineSize]byte) bool {
 	if i := b.find(addr); i >= 0 && !b.entries[i].draining {
 		b.entries[i].data = *data
 		b.stats.Inc("bbpb.coalesced")
-		b.eng.EmitTrace(trace.KindBufCoalesce, b.coreID, addr, 0)
+		b.eng.EmitTrace(trace.KindBufCoalesce, b.coreID, addr, uint64(len(b.entries)))
 		return true
 	}
 	if len(b.entries) >= b.cfg.Entries {
 		b.stats.Inc("bbpb.rejections")
-		b.eng.EmitTrace(trace.KindBufReject, b.coreID, addr, 0)
+		b.eng.EmitTrace(trace.KindBufReject, b.coreID, addr, uint64(len(b.entries)))
 		return false
 	}
 	b.seq++
-	b.entries = append(b.entries, entry{addr: addr, seq: b.seq, data: *data})
+	b.entries = append(b.entries, entry{addr: addr, seq: b.seq, alloc: b.eng.Now(), data: *data})
 	b.stats.Inc("bbpb.allocations")
-	b.eng.EmitTrace(trace.KindBufAlloc, b.coreID, addr, 0)
+	b.eng.EmitTrace(trace.KindBufAlloc, b.coreID, addr, uint64(len(b.entries)))
+	b.eng.Metrics.Sample("bbpb.occupancy", uint64(b.eng.Now()), b.coreID, uint64(len(b.entries)))
 	b.maybeDrain()
 	return true
 }
@@ -175,6 +177,7 @@ func (b *Buffer) Remove(addr memory.Addr) ([memory.LineSize]byte, bool) {
 
 func (b *Buffer) deleteAt(i int) {
 	b.entries = append(b.entries[:i], b.entries[i+1:]...)
+	b.eng.Metrics.Sample("bbpb.occupancy", uint64(b.eng.Now()), b.coreID, uint64(len(b.entries)))
 	b.wakeOne()
 }
 
@@ -252,7 +255,7 @@ func (b *Buffer) startDrain(i int, done func()) {
 	b.entries[i].draining = true
 	addr, data := b.entries[i].addr, b.entries[i].data
 	b.stats.Inc("bbpb.drains")
-	b.eng.EmitTrace(trace.KindBufDrain, b.coreID, addr, 0)
+	b.eng.EmitTrace(trace.KindBufDrain, b.coreID, addr, uint64(len(b.entries)))
 	b.nvmm.Write(addr, data, func() {
 		b.finishDrain(addr)
 		if done != nil {
@@ -264,6 +267,7 @@ func (b *Buffer) startDrain(i int, done func()) {
 func (b *Buffer) finishDrain(addr memory.Addr) {
 	for i := range b.entries {
 		if b.entries[i].addr == addr && b.entries[i].draining {
+			b.eng.Metrics.Observe("bbpb.residency", uint64(b.eng.Now()-b.entries[i].alloc))
 			b.deleteAt(i)
 			b.maybeDrain()
 			return
@@ -288,7 +292,7 @@ func (b *Buffer) ForceDrain(addr memory.Addr, done func()) {
 		return
 	}
 	b.stats.Inc("bbpb.forced_drains")
-	b.eng.EmitTrace(trace.KindBufForcedDrain, b.coreID, addr, 0)
+	b.eng.EmitTrace(trace.KindBufForcedDrain, b.coreID, addr, uint64(len(b.entries)))
 	b.startDrain(i, done)
 }
 
@@ -298,6 +302,7 @@ func (b *Buffer) CrashDrain(write func(memory.Addr, *[memory.LineSize]byte)) int
 	n := len(b.entries)
 	for i := range b.entries {
 		write(b.entries[i].addr, &b.entries[i].data)
+		b.eng.EmitTrace(trace.KindCrashDrain, b.coreID, b.entries[i].addr, 0)
 	}
 	b.entries = b.entries[:0]
 	b.stats.Add("bbpb.crash_drained", uint64(n))

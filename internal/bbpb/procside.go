@@ -5,6 +5,7 @@ import (
 	"bbb/internal/memctrl"
 	"bbb/internal/memory"
 	"bbb/internal/stats"
+	"bbb/internal/trace"
 )
 
 // ProcSide is the processor-side persist-buffer organization (§III-B, §V-C):
@@ -48,15 +49,19 @@ func (p *ProcSide) Put(addr memory.Addr, data *[memory.LineSize]byte) bool {
 	if n := len(p.entries); n > 0 && p.entries[n-1].addr == addr && !p.entries[n-1].draining {
 		p.entries[n-1].data = *data
 		p.stats.Inc("bbpb.coalesced")
+		p.eng.EmitTrace(trace.KindBufCoalesce, p.coreID, addr, uint64(len(p.entries)))
 		return true
 	}
 	if len(p.entries) >= p.cfg.Entries {
 		p.stats.Inc("bbpb.rejections")
+		p.eng.EmitTrace(trace.KindBufReject, p.coreID, addr, uint64(len(p.entries)))
 		return false
 	}
 	p.seq++
-	p.entries = append(p.entries, entry{addr: addr, seq: p.seq, data: *data})
+	p.entries = append(p.entries, entry{addr: addr, seq: p.seq, alloc: p.eng.Now(), data: *data})
 	p.stats.Inc("bbpb.allocations")
+	p.eng.EmitTrace(trace.KindBufAlloc, p.coreID, addr, uint64(len(p.entries)))
+	p.eng.Metrics.Sample("bbpb.occupancy", uint64(p.eng.Now()), p.coreID, uint64(len(p.entries)))
 	p.maybeDrain()
 	return true
 }
@@ -90,6 +95,7 @@ func (p *ProcSide) Remove(addr memory.Addr) ([memory.LineSize]byte, bool) {
 			data := p.entries[i].data
 			p.entries = append(p.entries[:i], p.entries[i+1:]...)
 			p.stats.Inc("bbpb.migrated_out")
+			p.eng.EmitTrace(trace.KindBufMigrate, p.coreID, addr, 0)
 			p.wakeOne()
 			return data, true
 		}
@@ -148,11 +154,15 @@ func (p *ProcSide) drainHead(done func()) {
 	p.draining = true
 	p.entries[0].draining = true
 	addr, data := p.entries[0].addr, p.entries[0].data
+	allocCycle := p.entries[0].alloc
 	p.stats.Inc("bbpb.drains")
+	p.eng.EmitTrace(trace.KindBufDrain, p.coreID, addr, uint64(len(p.entries)))
 	p.nvmm.Write(addr, data, func() {
 		p.draining = false
 		if len(p.entries) > 0 && p.entries[0].addr == addr && p.entries[0].draining {
 			p.entries = p.entries[1:]
+			p.eng.Metrics.Observe("bbpb.residency", uint64(p.eng.Now()-allocCycle))
+			p.eng.Metrics.Sample("bbpb.occupancy", uint64(p.eng.Now()), p.coreID, uint64(len(p.entries)))
 			p.wakeOne()
 		}
 		p.maybeDrain()
@@ -171,6 +181,7 @@ func (p *ProcSide) ForceDrain(addr memory.Addr, done func()) {
 		return
 	}
 	p.stats.Inc("bbpb.forced_drains")
+	p.eng.EmitTrace(trace.KindBufForcedDrain, p.coreID, addr, uint64(len(p.entries)))
 	var step func()
 	step = func() {
 		if !p.Has(addr) {
@@ -193,6 +204,7 @@ func (p *ProcSide) CrashDrain(write func(memory.Addr, *[memory.LineSize]byte)) i
 	n := len(p.entries)
 	for i := range p.entries {
 		write(p.entries[i].addr, &p.entries[i].data)
+		p.eng.EmitTrace(trace.KindCrashDrain, p.coreID, p.entries[i].addr, 0)
 	}
 	p.entries = p.entries[:0]
 	p.stats.Add("bbpb.crash_drained", uint64(n))

@@ -124,6 +124,10 @@ func (h *Hierarchy) AtomicCAS(core int, addr memory.Addr, size int, old, new uin
 						line.Persistent = persistent
 						if persistent {
 							h.Stats.Inc("store.persisting")
+							// A successful persistent CAS is a persisting
+							// store commit; emit the commit event so
+							// durability provenance tracks it like any store.
+							h.eng.EmitTrace(trace.KindStoreCommit, core, la, new)
 							h.policy.CommitStore(core, la, &line.Data)
 						}
 					}
@@ -353,6 +357,7 @@ func (h *Hierarchy) memFill(core int, la memory.Addr, ready func(*cache.Line, en
 				h.l2.Fill(victim, la, cache.Exclusive, &data)
 				victim.Persistent = h.layout.Persistent(la)
 				extra := h.cfg.L2Lat + (h.eng.Now() - start)
+				h.eng.Metrics.Observe("l2.miss_latency", uint64(extra))
 				ready(victim, extra)
 			})
 		})

@@ -80,6 +80,7 @@ type sbEntry struct {
 	addr memory.Addr
 	size int
 	val  uint64
+	enq  engine.Cycle // cycle the store entered the SB, for residency stats
 }
 
 // Core is one simulated core.
@@ -146,6 +147,7 @@ func New(id int, cfg Config, eng *engine.Engine, h *coherence.Hierarchy) *Core {
 	c.sbDrainDone = func() {
 		for i := range c.sb {
 			if c.sb[i] == c.sbInFlight {
+				c.eng.Metrics.Observe("cpu.sb_residency", uint64(c.eng.Now()-c.sb[i].enq))
 				c.sb = append(c.sb[:i], c.sb[i+1:]...)
 				break
 			}
@@ -273,7 +275,7 @@ func (c *Core) acceptStore(req request, start engine.Cycle) {
 		return
 	}
 	c.StallCycles += c.eng.Now() - start
-	c.sb = append(c.sb, sbEntry{addr: req.addr, size: req.size, val: req.val})
+	c.sb = append(c.sb, sbEntry{addr: req.addr, size: req.size, val: req.val, enq: c.eng.Now()})
 	// With drains queued ahead of this store, warming its line overlaps
 	// the write-allocate miss with the queue.
 	if c.cfg.StorePrefetch && len(c.sb) > 1 {
@@ -436,6 +438,7 @@ func (c *Core) CrashDrainSB(read func(memory.Addr, *[memory.LineSize]byte), writ
 		read(la, &line)
 		writeValueAt(&line, memory.LineOffset(e.addr), e.size, e.val)
 		write(la, &line)
+		c.eng.EmitTrace(trace.KindCrashDrain, c.id, uint64(la), 0)
 		n++
 	}
 	c.sb = c.sb[:0]

@@ -16,6 +16,7 @@ package engine
 import (
 	"fmt"
 
+	"bbb/internal/stats"
 	"bbb/internal/trace"
 )
 
@@ -46,6 +47,10 @@ type Engine struct {
 	// component sharing this engine (components call Engine.Trace.Emit
 	// with Engine.Now(); a nil recorder drops events for free).
 	Trace *trace.Recorder
+	// Metrics, when non-nil, receives histogram observations and gauge
+	// samples from the same components (latency distributions, occupancy
+	// timelines); a nil registry drops them for free, mirroring Trace.
+	Metrics *stats.Metrics
 }
 
 // EmitTrace records a trace event at the current cycle; free when tracing

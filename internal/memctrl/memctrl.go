@@ -74,6 +74,7 @@ func DefaultNVMM() Config {
 
 type wpqEntry struct {
 	addr     memory.Addr
+	enq      engine.Cycle // cycle the entry was accepted, for residency stats
 	data     [memory.LineSize]byte
 	draining bool
 }
@@ -96,8 +97,9 @@ type Controller struct {
 	wpq     []wpqEntry
 	waiters []pendingWrite // writes stalled on a full WPQ
 
-	// drainDone is the preallocated medium-write completion (stat + trace)
-	// shared by every WPQ drain; the drained address rides in the event.
+	// drainDone is the preallocated medium-write completion (stat only;
+	// the trace event fires earlier, when the WPQ slot frees) shared by
+	// every WPQ drain; the drained address rides in the event.
 	drainDone func(addr uint64)
 
 	// Stats collects controller counters, prefixed with the config name.
@@ -118,7 +120,6 @@ func New(cfg Config, eng *engine.Engine, mem *memory.Memory) *Controller {
 	}
 	c.drainDone = func(addr uint64) {
 		c.Stats.Inc(c.counter("wpq_drains"))
-		c.eng.EmitTrace(trace.KindWPQDrain, -1, addr, 0)
 	}
 	return c
 }
@@ -214,8 +215,9 @@ func (c *Controller) wpqWrite(w pendingWrite) {
 		c.waiters = append(c.waiters, w)
 		return
 	}
-	c.wpq = append(c.wpq, wpqEntry{addr: w.addr, data: w.data})
-	c.eng.EmitTrace(trace.KindWPQInsert, -1, w.addr, 0)
+	c.wpq = append(c.wpq, wpqEntry{addr: w.addr, enq: c.eng.Now(), data: w.data})
+	c.eng.EmitTrace(trace.KindWPQInsert, -1, w.addr, uint64(len(c.wpq)))
+	c.eng.Metrics.Sample("wpq.depth", uint64(c.eng.Now()), -1, uint64(len(c.wpq)))
 	c.ack(w.done)
 	c.maybeDrain()
 }
@@ -279,10 +281,14 @@ func (c *Controller) oldestNotDraining() int {
 func (c *Controller) drainEntry(i int) {
 	c.wpq[i].draining = true
 	addr, data := c.wpq[i].addr, c.wpq[i].data
+	enq := c.wpq[i].enq
 	start := c.claimChannel(c.cfg.WriteOcc)
 	c.eng.At(start, func() {
 		c.mem.WriteLine(addr, &data)
 		c.wpqRemove(addr)
+		c.eng.EmitTrace(trace.KindWPQDrain, -1, addr, uint64(len(c.wpq)))
+		c.eng.Metrics.Observe("wpq.residency", uint64(c.eng.Now()-enq))
+		c.eng.Metrics.Sample("wpq.depth", uint64(c.eng.Now()), -1, uint64(len(c.wpq)))
 		c.admitWaiters()
 		c.maybeDrain()
 	})
@@ -334,11 +340,13 @@ func (c *Controller) CrashDrain() int {
 	n := 0
 	for i := range c.wpq {
 		c.mem.WriteLine(c.wpq[i].addr, &c.wpq[i].data)
+		c.eng.EmitTrace(trace.KindCrashDrain, -1, c.wpq[i].addr, 0)
 		n++
 	}
 	c.wpq = c.wpq[:0]
 	for _, w := range c.waiters {
 		c.mem.WriteLine(w.addr, &w.data)
+		c.eng.EmitTrace(trace.KindCrashDrain, -1, w.addr, 0)
 		n++
 	}
 	c.waiters = nil

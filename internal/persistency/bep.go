@@ -5,6 +5,7 @@ import (
 	"bbb/internal/memctrl"
 	"bbb/internal/memory"
 	"bbb/internal/stats"
+	"bbb/internal/trace"
 )
 
 // This file implements Buffered Epoch Persistency (BEP) with traditional
@@ -85,14 +86,18 @@ func (v *vpb) put(addr memory.Addr, data *[memory.LineSize]byte) bool {
 	if i := v.find(addr); i >= 0 && v.entries[i].epoch == v.epoch && !v.entries[i].draining {
 		v.entries[i].data = *data
 		v.stats.Inc("vpb.coalesced")
+		v.eng.EmitTrace(trace.KindBufCoalesce, v.coreID, addr, uint64(len(v.entries)))
 		return true
 	}
 	if len(v.entries) >= v.cap {
 		v.stats.Inc("vpb.rejections")
+		v.eng.EmitTrace(trace.KindBufReject, v.coreID, addr, uint64(len(v.entries)))
 		return false
 	}
 	v.entries = append(v.entries, vpbEntry{addr: addr, data: *data, epoch: v.epoch})
 	v.stats.Inc("vpb.allocations")
+	v.eng.EmitTrace(trace.KindBufAlloc, v.coreID, addr, uint64(len(v.entries)))
+	v.eng.Metrics.Sample("vpb.occupancy", uint64(v.eng.Now()), v.coreID, uint64(len(v.entries)))
 	v.maybeDrain()
 	return true
 }
@@ -167,10 +172,12 @@ func (v *vpb) startDrain(i int) {
 	addr := v.entries[i].addr
 	data := v.entries[i].data
 	v.stats.Inc("vpb.drains")
+	v.eng.EmitTrace(trace.KindBufDrain, v.coreID, addr, uint64(len(v.entries)))
 	v.nvmm.Write(addr, data, func() {
 		for j := range v.entries {
 			if v.entries[j].addr == addr && v.entries[j].draining {
 				v.entries = append(v.entries[:j], v.entries[j+1:]...)
+				v.eng.Metrics.Sample("vpb.occupancy", uint64(v.eng.Now()), v.coreID, uint64(len(v.entries)))
 				break
 			}
 		}
@@ -201,6 +208,7 @@ func (v *vpb) drainThrough(addr memory.Addr) {
 			return
 		}
 		v.stats.Inc("vpb.forced_drains")
+		v.eng.EmitTrace(trace.KindBufForcedDrain, v.coreID, v.entries[idx].addr, uint64(len(v.entries)))
 		v.startDrain(idx)
 	}
 }
@@ -209,6 +217,9 @@ func (v *vpb) drainThrough(addr memory.Addr) {
 // this is the volatility the paper's battery fixes.
 func (v *vpb) crashLoss() int {
 	n := len(v.entries)
+	for i := range v.entries {
+		v.eng.EmitTrace(trace.KindBufCrashLost, v.coreID, v.entries[i].addr, 0)
+	}
 	v.entries = nil
 	v.stats.Add("vpb.crash_lost", uint64(n))
 	return n

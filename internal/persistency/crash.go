@@ -5,6 +5,7 @@ import (
 	"bbb/internal/cpu"
 	"bbb/internal/memctrl"
 	"bbb/internal/memory"
+	"bbb/internal/trace"
 )
 
 // DrainReport records what flush-on-fail moved to NVMM at a crash; it feeds
@@ -108,6 +109,7 @@ func (m *Model) CrashDrain(cores []*cpu.Core, h *coherence.Hierarchy, nvmm *memc
 				return // DRAM-bound dirty lines are simply lost state
 			}
 			mem.WriteLine(la, data)
+			m.eng.EmitTrace(trace.KindCrashDrain, -1, uint64(la), 0)
 			rep.CacheLines++
 		})
 	case BBB, BBBProc:

@@ -150,12 +150,13 @@ type Model struct {
 	// vpbs holds the volatile epoch buffers (BEP only).
 	vpbs   []*vpb
 	policy coherence.PersistPolicy
+	eng    *engine.Engine // for crash-drain trace emission
 }
 
 // NewModel builds the scheme's policy and buffers. cores is the core count;
 // bufCfg sizes the persist buffers (ignored for PMEM/eADR/NVCache).
 func NewModel(s Scheme, cores int, bufCfg bbpb.Config, eng *engine.Engine, nvmm *memctrl.Controller) *Model {
-	m := &Model{Scheme: s}
+	m := &Model{Scheme: s, eng: eng}
 	switch s {
 	case PMEM, EADR, NVCache:
 		m.policy = coherence.NullPolicy{}

@@ -61,6 +61,22 @@ var Glossary = map[string]string{
 	"l2.writebacks":         "dirty L2 victims written back to memory",
 	"l2.writebacks_skipped": "dirty persistent victims dropped, bbPB drain covers them (§III-E)",
 
+	// Histogram / gauge metrics (tracing only; see Metrics). statlint
+	// audits Observe/Sample sites against these entries exactly like
+	// counter increments.
+	"bbpb.occupancy":         "gauge: live bbPB entries per core over time",
+	"bbpb.residency":         "histogram: cycles a bbPB entry lived from allocation to drain",
+	"cpu.sb_residency":       "histogram: cycles a store sat in the store buffer before its L1 commit",
+	"l2.miss_latency":        "histogram: cycles to fill an L2 miss from memory",
+	"persist.vis_to_dur_gap": "histogram: cycles from store visibility (L1 commit) to durability (§III PoV/PoP gap)",
+	"vpb.occupancy":          "gauge: live volatile persist-buffer entries per core over time",
+	"wpq.depth":              "gauge: NVMM write-pending-queue depth over time",
+	"wpq.residency":          "histogram: cycles a write waited in the NVMM WPQ before reaching the medium",
+
+	// Durability provenance (tracing only): commit-to-durable matching.
+	"persist.resolved_stores":   "committed persisting stores matched to a durability event",
+	"persist.unresolved_stores": "committed persisting stores never observed durable (would need flush-on-fail)",
+
 	// Persisting-store admission (§III-D ordering invariants).
 	"store.persist_commit_waits": "commits re-stalled when the reserved bbPB slot vanished",
 	"store.persist_rejected":     "stores stalled at issue because the bbPB could not accept",

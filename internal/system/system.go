@@ -33,6 +33,12 @@ type Config struct {
 	// TraceCapacity, when positive, retains the last N microarchitectural
 	// events for post-run inspection (System.Trace).
 	TraceCapacity int
+	// TraceFull retains the entire event stream (unbounded memory; meant
+	// for export and offline analysis). Overrides TraceCapacity.
+	TraceFull bool
+	// TraceSink, when non-nil, additionally streams every event into the
+	// given sink (e.g. a JSON-lines file) as the run executes.
+	TraceSink trace.Sink
 	// AblateSBBattery removes the store buffer from the persistence domain
 	// even for schemes that battery-back it — the §III-C ablation showing
 	// why BBB (and eADR) must cover the SB to guarantee program-order
@@ -65,6 +71,8 @@ type System struct {
 	Hier  *coherence.Hierarchy
 	Model *persistency.Model
 	Cores []*cpu.Core
+	// Prov tracks durability provenance when tracing is enabled.
+	Prov *trace.Provenance
 }
 
 // New builds a machine from cfg.
@@ -82,8 +90,21 @@ func NewOnImage(cfg Config, img *memory.Memory) *System {
 	}
 	cfg.Hierarchy.Cores = cfg.Cores
 	eng := engine.New()
-	if cfg.TraceCapacity > 0 {
+	var prov *trace.Provenance
+	if cfg.TraceFull {
+		eng.Trace = trace.NewFull()
+	} else if cfg.TraceCapacity > 0 {
 		eng.Trace = trace.New(cfg.TraceCapacity)
+	}
+	if eng.Trace != nil {
+		// Tracing brings the rest of the observability stack with it:
+		// histogram/gauge metrics and the durability-provenance tracker.
+		eng.Metrics = stats.NewMetrics()
+		prov = trace.NewProvenance(DurabilityPointFor(cfg.Scheme), eng.Metrics)
+		eng.Trace.Attach(prov)
+		if cfg.TraceSink != nil {
+			eng.Trace.Attach(cfg.TraceSink)
+		}
 	}
 	mem := img
 	if mem == nil {
@@ -105,6 +126,7 @@ func NewOnImage(cfg Config, img *memory.Memory) *System {
 		NVMM:  nvmm,
 		Hier:  hier,
 		Model: model,
+		Prov:  prov,
 	}
 	ccfg := model.CoreConfig(cfg.Core)
 	if cfg.AblateSBBattery {
@@ -114,6 +136,19 @@ func NewOnImage(cfg Config, img *memory.Memory) *System {
 		s.Cores = append(s.Cores, cpu.New(i, ccfg, eng, hier))
 	}
 	return s
+}
+
+// DurabilityPointFor maps a scheme to the trace event that marks a
+// committed store durable (Table I's PoP location, in provenance terms).
+func DurabilityPointFor(s persistency.Scheme) trace.DurabilityPoint {
+	switch s {
+	case persistency.BBB, persistency.BBBProc:
+		return trace.DurableAtBufAlloc
+	case persistency.EADR, persistency.NVCache:
+		return trace.DurableAtCommit
+	default: // PMEM, BEP: the ADR WPQ is the persist point.
+		return trace.DurableAtWPQ
+	}
 }
 
 // Program is one thread's workload body, executed on its own goroutine
@@ -152,6 +187,22 @@ type Result struct {
 	Wear memory.WearStats
 	// Counters aggregates every component's raw counters.
 	Counters *stats.Counters
+	// Metrics holds the run's histograms and gauge timelines (nil unless
+	// tracing was enabled).
+	Metrics *stats.Metrics
+}
+
+// DurabilitySummary renders the visibility-to-durability gap histogram
+// (persist.vis_to_dur_gap) as a one-line summary, or "(tracing off)".
+func (r Result) DurabilitySummary() string {
+	if r.Metrics == nil {
+		return "(tracing off)"
+	}
+	h := r.Metrics.Hist("persist.vis_to_dur_gap")
+	if h == nil {
+		return "(no persisting stores observed)"
+	}
+	return fmt.Sprintf("%s vis->dur gap: %s", r.Scheme, h.Summary())
 }
 
 // Run starts one program per core and runs the machine until every program
@@ -238,6 +289,11 @@ func (s *System) result() Result {
 		r.DirtyFraction = float64(dirty) / float64(valid)
 	}
 	r.Wear = s.Mem.Wear()
+	r.Metrics = s.Eng.Metrics
+	if s.Prov != nil {
+		r.Counters.Add("persist.resolved_stores", s.Prov.Resolved())
+		r.Counters.Add("persist.unresolved_stores", s.Prov.Unresolved())
+	}
 	return r
 }
 
@@ -246,3 +302,6 @@ func (s *System) ResultAfterCrash() Result { return s.result() }
 
 // Trace returns the event recorder, or nil when tracing is off.
 func (s *System) Trace() *trace.Recorder { return s.Eng.Trace }
+
+// Metrics returns the histogram/gauge registry, or nil when tracing is off.
+func (s *System) Metrics() *stats.Metrics { return s.Eng.Metrics }

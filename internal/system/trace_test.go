@@ -17,18 +17,27 @@ func TestTracingCapturesBBBLifecycle(t *testing.T) {
 	if rec == nil {
 		t.Fatal("tracing not enabled")
 	}
-	counts := rec.CountByKind()
+	evs := rec.Events()
 	for _, k := range []trace.Kind{
 		trace.KindStoreCommit, trace.KindBufAlloc, trace.KindBufCoalesce,
 		trace.KindBufDrain, trace.KindWPQInsert, trace.KindLLCEvict,
 	} {
-		if counts[k] == 0 {
+		if len(trace.EventsByKind(evs, k)) == 0 {
 			t.Errorf("no %v events traced", k)
 		}
 	}
 	// Sanity: traced drains agree with the drain counter.
 	if rec.Emitted == 0 {
 		t.Fatal("nothing emitted")
+	}
+	// Every per-core event must carry a core in range; the filter helpers
+	// partition the stream without losing machine-wide (core -1) events.
+	total := 0
+	for core := -1; core < cfg.Cores; core++ {
+		total += len(trace.EventsByCore(evs, core))
+	}
+	if total != len(evs) {
+		t.Errorf("per-core partition covers %d of %d events", total, len(evs))
 	}
 	var b strings.Builder
 	rec.Dump(&b)
@@ -50,7 +59,7 @@ func TestTracingPMEMShowsClwbFence(t *testing.T) {
 	cfg.TraceCapacity = 1 << 14
 	sys := New(cfg)
 	sys.Run(mixedPrograms(sys, 50, 30))
-	counts := sys.Trace().CountByKind()
+	counts := trace.CountKinds(sys.Trace().Events())
 	if counts[trace.KindClwb] == 0 || counts[trace.KindFence] == 0 {
 		t.Fatalf("PMEM trace missing persist instructions: %v", counts)
 	}
@@ -64,7 +73,7 @@ func TestTracingBEPShowsEpochs(t *testing.T) {
 	cfg.TraceCapacity = 1 << 14
 	sys := New(cfg)
 	sys.Run(mixedPrograms(sys, 50, 30))
-	counts := sys.Trace().CountByKind()
+	counts := trace.CountKinds(sys.Trace().Events())
 	if counts[trace.KindEpochMark] == 0 {
 		t.Fatalf("BEP trace missing epoch marks: %v", counts)
 	}

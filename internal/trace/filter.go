@@ -1,0 +1,49 @@
+package trace
+
+// Filtering helpers shared by cmd/bbbtrace and the test suite, replacing
+// the ad-hoc loops each caller used to write.
+
+// EventsByKind returns the events of kind k, preserving order.
+func EventsByKind(events []Event, k Kind) []Event {
+	var out []Event
+	for _, e := range events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// EventsByCore returns the events attributed to core, preserving order.
+// Pass -1 for machine-wide events.
+func EventsByCore(events []Event, core int) []Event {
+	var out []Event
+	for _, e := range events {
+		if int(e.Core) == core {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// EventsInRange returns the events with first <= Cycle <= last,
+// preserving order.
+func EventsInRange(events []Event, first, last uint64) []Event {
+	var out []Event
+	for _, e := range events {
+		if e.Cycle >= first && e.Cycle <= last {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// CountKinds tallies events per kind (the slice analogue of
+// Recorder.CountByKind).
+func CountKinds(events []Event) map[Kind]int {
+	out := map[Kind]int{}
+	for _, e := range events {
+		out[e.Kind]++
+	}
+	return out
+}

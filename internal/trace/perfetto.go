@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Perfetto/Chrome trace-event export. The output is the classic JSON
+// trace format ({"traceEvents":[...]}) that both chrome://tracing and
+// ui.perfetto.dev load directly:
+//
+//   - every simulator event becomes a thread-scoped instant event on its
+//     core's track (tid = core+1; tid 0 is the machine-wide track), and
+//   - bbPB occupancy, WPQ depth, and the forced-drain count become
+//     counter tracks, reconstructed from the Aux fields of the buffer and
+//     WPQ events.
+//
+// Timestamps are simulated cycles passed through as microseconds (the
+// format's ts unit); there is no wall-clock anywhere, so exports of the
+// same run are byte-identical. Entries are serialized one struct at a
+// time (fixed field order — no map marshalling).
+
+// PerfettoMeta labels the exported trace.
+type PerfettoMeta struct {
+	// Process names the top-level track group, e.g. "bbbsim counter/bbb".
+	Process string
+}
+
+// pfEvent is one trace-event entry. Field order here is serialization
+// order, which golden tests pin.
+type pfEvent struct {
+	Ph   string `json:"ph"`
+	Pid  int    `json:"pid"`
+	Tid  int    `json:"tid"`
+	Ts   uint64 `json:"ts"`
+	Name string `json:"name"`
+	S    string `json:"s,omitempty"`
+	Args any    `json:"args,omitempty"`
+}
+
+type pfNameArgs struct {
+	Name string `json:"name"`
+}
+
+type pfInstantArgs struct {
+	Addr string `json:"addr"`
+	Aux  uint64 `json:"aux"`
+}
+
+type pfCounterArgs struct {
+	Value uint64 `json:"value"`
+}
+
+// WritePerfetto renders events as a Perfetto-loadable JSON trace.
+func WritePerfetto(w io.Writer, events []Event, meta PerfettoMeta) error {
+	proc := meta.Process
+	if proc == "" {
+		proc = "bbb-sim"
+	}
+	maxCore := -1
+	for _, e := range events {
+		if int(e.Core) > maxCore {
+			maxCore = int(e.Core)
+		}
+	}
+
+	ew := &entryWriter{w: w}
+	ew.begin()
+	ew.entry(pfEvent{Ph: "M", Pid: 0, Tid: 0, Name: "process_name", Args: pfNameArgs{Name: proc}})
+	ew.entry(pfEvent{Ph: "M", Pid: 0, Tid: 0, Name: "thread_name", Args: pfNameArgs{Name: "machine"}})
+	for c := 0; c <= maxCore; c++ {
+		ew.entry(pfEvent{Ph: "M", Pid: 0, Tid: c + 1, Name: "thread_name",
+			Args: pfNameArgs{Name: fmt.Sprintf("core %d", c)}})
+	}
+
+	var forcedDrains uint64
+	for _, e := range events {
+		tid := int(e.Core) + 1
+		ew.entry(pfEvent{Ph: "i", Pid: 0, Tid: tid, Ts: e.Cycle, Name: e.Kind.String(), S: "t",
+			Args: pfInstantArgs{Addr: fmt.Sprintf("%#x", e.Addr), Aux: e.Aux}})
+		switch e.Kind {
+		case KindBufAlloc, KindBufCoalesce, KindBufDrain, KindBufForcedDrain:
+			// Aux carries the bbPB occupancy after the operation; render
+			// it as a per-core counter track.
+			ew.entry(pfEvent{Ph: "C", Pid: 0, Tid: 0, Ts: e.Cycle,
+				Name: fmt.Sprintf("bbpb occupancy c%d", e.Core),
+				Args: pfCounterArgs{Value: e.Aux}})
+			if e.Kind == KindBufForcedDrain {
+				forcedDrains++
+				ew.entry(pfEvent{Ph: "C", Pid: 0, Tid: 0, Ts: e.Cycle,
+					Name: "forced drains", Args: pfCounterArgs{Value: forcedDrains}})
+			}
+		case KindWPQInsert, KindWPQDrain:
+			// Aux carries the WPQ depth after the operation.
+			ew.entry(pfEvent{Ph: "C", Pid: 0, Tid: 0, Ts: e.Cycle,
+				Name: "wpq depth", Args: pfCounterArgs{Value: e.Aux}})
+		}
+	}
+	ew.end()
+	return ew.err
+}
+
+// entryWriter emits the {"traceEvents":[...]} envelope with correct
+// comma placement, swallowing work after the first error.
+type entryWriter struct {
+	w     io.Writer
+	wrote bool
+	err   error
+}
+
+func (ew *entryWriter) begin() {
+	if ew.err == nil {
+		_, ew.err = io.WriteString(ew.w, "{\"traceEvents\":[\n")
+	}
+}
+
+func (ew *entryWriter) entry(e pfEvent) {
+	if ew.err != nil {
+		return
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		ew.err = err
+		return
+	}
+	if ew.wrote {
+		if _, ew.err = io.WriteString(ew.w, ",\n"); ew.err != nil {
+			return
+		}
+	}
+	ew.wrote = true
+	_, ew.err = ew.w.Write(b)
+}
+
+func (ew *entryWriter) end() {
+	if ew.err == nil {
+		_, ew.err = io.WriteString(ew.w, "\n]}\n")
+	}
+}

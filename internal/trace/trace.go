@@ -1,14 +1,19 @@
-// Package trace provides a lightweight ring-buffer event recorder for the
-// simulator. When enabled, components emit one fixed-size record per
-// interesting microarchitectural event (persisting-store commits, bbPB
+// Package trace provides the simulator's event-tracing layer. When
+// enabled, components emit one fixed-size record per interesting
+// microarchitectural event (persisting-store commits, bbPB
 // allocations/coalesces/drains/migrations, coherence invalidations, WPQ
-// traffic, epoch marks, crash drains), and tools can dump the tail of the
-// run — the kind of observability a user debugging a persistency bug needs.
+// traffic, epoch marks, crash drains). Records flow through a Recorder
+// into pluggable sinks — a bounded ring for tail debugging, a full
+// in-memory buffer for analysis, or a JSON-lines stream for offline
+// tooling — and can be exported as a Perfetto/Chrome trace or fed to the
+// durability-provenance tracker. Everything is cycle-stamped: no wall
+// clock anywhere, so traces of the same seed are byte-identical.
 package trace
 
 import (
 	"fmt"
 	"io"
+	"math"
 )
 
 // Kind classifies an event.
@@ -23,7 +28,8 @@ const (
 	KindFence
 	KindEpochMark
 	KindAtomic
-	// Persist-buffer events.
+	// Persist-buffer events. Aux = buffer occupancy after the operation,
+	// except KindBufMigrate (Aux = destination core).
 	KindBufAlloc
 	KindBufCoalesce
 	KindBufDrain
@@ -35,7 +41,7 @@ const (
 	KindInvalidate // Aux = requesting core
 	KindIntervene  // Aux = requesting core
 	KindLLCEvict   // Aux = 1 if writeback, 0 if dropped
-	// Memory-controller events.
+	// Memory-controller events. Aux = WPQ depth after the operation.
 	KindWPQInsert
 	KindWPQDrain
 	KindCrashDrain
@@ -84,6 +90,16 @@ func (k Kind) String() string {
 	}
 }
 
+// ParseKind inverts Kind.String. It reports false for unknown names.
+func ParseKind(s string) (Kind, bool) {
+	for k := KindNone + 1; k <= KindCrashDrain; k++ {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return KindNone, false
+}
+
 // Event is one fixed-size trace record.
 type Event struct {
 	Cycle uint64
@@ -93,37 +109,79 @@ type Event struct {
 	Aux   uint64
 }
 
-// Recorder is a fixed-capacity ring buffer of events. A nil *Recorder is a
-// valid, disabled recorder: Emit on nil is a no-op, so components can hold
+// MaxCore is the largest core id an Event can carry; Emit panics beyond
+// it rather than silently truncating (a 40000-core machine would
+// otherwise alias down to a small id and corrupt every per-core view).
+const MaxCore = math.MaxInt16
+
+// Recorder is the tracing front-end. Every Emit lands in the retention
+// sink (ring or full buffer, queryable afterwards) and is forwarded to
+// any attached streaming sinks. A nil *Recorder is a valid, disabled
+// recorder: Emit on nil is an allocation-free no-op, so components hold
 // one unconditionally.
 type Recorder struct {
-	ring    []Event
-	next    int
-	wrapped bool
-	// Emitted counts all events ever emitted, including overwritten ones.
+	retain RetentionSink
+	sinks  []Sink
+	// Emitted counts all events ever emitted, including ones a ring
+	// retention sink has overwritten.
 	Emitted uint64
 }
 
-// New returns a recorder keeping the last capacity events.
+// New returns a recorder whose retention sink keeps the last capacity
+// events (a ring — the cheap tail-debugging default).
 func New(capacity int) *Recorder {
 	if capacity <= 0 {
 		panic("trace: capacity must be positive")
 	}
-	return &Recorder{ring: make([]Event, capacity)}
+	return &Recorder{retain: NewRing(capacity)}
 }
 
-// Emit records one event. Safe on a nil recorder.
+// NewFull returns a recorder that retains the entire event stream
+// in memory, for analysis and export.
+func NewFull() *Recorder {
+	return &Recorder{retain: &BufferSink{}}
+}
+
+// Attach adds a streaming sink that receives every subsequent event
+// (in addition to the retention sink). Safe on a nil recorder (no-op).
+func (r *Recorder) Attach(s Sink) {
+	if r == nil {
+		return
+	}
+	r.sinks = append(r.sinks, s)
+}
+
+// Emit records one event. Safe on a nil recorder. It panics if core is
+// outside [-1, MaxCore]: Event stores cores as int16 and silent
+// truncation would misattribute events.
 func (r *Recorder) Emit(cycle uint64, kind Kind, core int, addr, aux uint64) {
 	if r == nil {
 		return
 	}
-	r.ring[r.next] = Event{Cycle: cycle, Kind: kind, Core: int16(core), Addr: addr, Aux: aux}
-	r.next++
-	r.Emitted++
-	if r.next == len(r.ring) {
-		r.next = 0
-		r.wrapped = true
+	if core < -1 || core > MaxCore {
+		panic(fmt.Sprintf("trace: core %d outside [-1, %d]", core, MaxCore))
 	}
+	e := Event{Cycle: cycle, Kind: kind, Core: int16(core), Addr: addr, Aux: aux}
+	r.retain.Write(e)
+	for _, s := range r.sinks {
+		s.Write(e)
+	}
+	r.Emitted++
+}
+
+// Flush flushes the retention sink and every attached sink, returning
+// the first error. Safe on a nil recorder.
+func (r *Recorder) Flush() error {
+	if r == nil {
+		return nil
+	}
+	err := r.retain.Flush()
+	for _, s := range r.sinks {
+		if e := s.Flush(); err == nil {
+			err = e
+		}
+	}
+	return err
 }
 
 // Len reports how many events are currently retained.
@@ -131,10 +189,7 @@ func (r *Recorder) Len() int {
 	if r == nil {
 		return 0
 	}
-	if r.wrapped {
-		return len(r.ring)
-	}
-	return r.next
+	return r.retain.Len()
 }
 
 // Events returns the retained events, oldest first.
@@ -142,13 +197,7 @@ func (r *Recorder) Events() []Event {
 	if r == nil {
 		return nil
 	}
-	if !r.wrapped {
-		return append([]Event(nil), r.ring[:r.next]...)
-	}
-	out := make([]Event, 0, len(r.ring))
-	out = append(out, r.ring[r.next:]...)
-	out = append(out, r.ring[:r.next]...)
-	return out
+	return r.retain.Events()
 }
 
 // Dump writes the retained events, one per line, oldest first.

@@ -10,3 +10,11 @@ import (
 func TestFixture(t *testing.T) {
 	vet.RunFixture(t, detlint.Analyzer, "testdata/det")
 }
+
+// The file-sink fixture proves a trace sink that smuggled in wall-clock
+// stamps, map-ordered emission or env-var output paths could not land:
+// every nondeterministic field source is rejected, while the cycle-stamped
+// slice-ordered design internal/trace uses passes.
+func TestFileSinkFixture(t *testing.T) {
+	vet.RunFixture(t, detlint.Analyzer, "testdata/filesink")
+}

@@ -1,0 +1,70 @@
+// Package filesink is a detlint fixture modelled on a trace file sink:
+// the tempting nondeterminism bugs — wall-clock timestamps on records,
+// map-ordered event emission, host-environment output paths — are all
+// flagged, proving a sink that slipped them in could not land. The clean
+// variants mirror what internal/trace actually does: cycle stamps carried
+// in the event, slice-ordered emission, caller-supplied writers.
+package filesink
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+type event struct {
+	cycle uint64
+	kind  string
+}
+
+type sink struct {
+	w      io.Writer
+	counts map[string]int
+}
+
+// write stamps records with simulated cycles carried in the event itself —
+// the deterministic design.
+func (s *sink) write(e event) {
+	fmt.Fprintf(s.w, "%d %s\n", e.cycle, e.kind)
+	s.counts[e.kind]++
+}
+
+// writeWallClock is the bug detlint exists to catch: a wall-clock stamp
+// makes every trace byte-unique across runs.
+func (s *sink) writeWallClock(e event) {
+	fmt.Fprintf(s.w, "%v %s\n", time.Now(), e.kind) // want "call to time.Now is nondeterministic"
+}
+
+// summarize ranging the tally map directly would emit kinds in a different
+// order every run.
+func (s *sink) summarize() {
+	for k, n := range s.counts { // want "range over map has nondeterministic order"
+		fmt.Fprintf(s.w, "%s=%d\n", k, n)
+	}
+}
+
+// summarizeSorted is the justified form: key extraction is order-blind
+// once the keys are sorted before any output is produced.
+func (s *sink) summarizeSorted() {
+	keys := make([]string, 0, len(s.counts))
+	//bbbvet:ignore detlint keys are sorted before any output; order cannot matter
+	for k := range s.counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(s.w, "%s=%d\n", k, s.counts[k])
+	}
+}
+
+// envPath lets the host environment steer simulator output — flagged.
+func envPath() string {
+	return os.Getenv("TRACE_OUT") // want "call to os.Getenv is nondeterministic"
+}
+
+// flush timing must come from the engine clock, not the host's.
+func (s *sink) flushEvery() {
+	time.Sleep(10 * time.Millisecond) // want "call to time.Sleep is nondeterministic"
+}

@@ -18,8 +18,12 @@
 // suffix: an increment of the literal "writes" nested inside the Inc/Add
 // argument satisfies reads and registrations of any "<prefix>.writes".
 //
+// The histogram/gauge registry (stats.Metrics) shares the namespace and
+// the failure mode, so it is audited the same way: Observe/Sample are
+// write sites (like Inc/Add) and Hist/Gauge are read sites (like Get).
+//
 // Reads in _test.go files count (a counter asserted by a test is consumed);
-// test sources are scanned syntactically for Get calls.
+// test sources are scanned syntactically for Get/Hist/Gauge calls.
 package statlint
 
 import (
@@ -38,10 +42,11 @@ import (
 // Analyzer is the statlint pass.
 var Analyzer = &vet.Analyzer{
 	Name: "statlint",
-	Doc: `	statlint: dead / misspelled stats counters.
-	Every incremented counter must be documented in stats.Glossary or read
-	with Get; every Get and every Glossary entry must name a counter some
-	code increments.`,
+	Doc: `	statlint: dead / misspelled stats counters and metrics.
+	Every incremented counter (Counters.Inc/Add) and observed metric
+	(Metrics.Observe/Sample) must be documented in stats.Glossary or read
+	back (Get/Hist/Gauge); every read and every Glossary entry must name
+	one some code writes.`,
 	Run:    run,
 	Finish: finish,
 }
@@ -98,12 +103,23 @@ func recordCall(info *types.Info, call *ast.CallExpr, fx *facts, pass *vet.Pass)
 		return
 	}
 	fn, ok := info.Uses[sel.Sel].(*types.Func)
-	if !ok || !isCountersMethod(fn) {
+	if !ok {
 		return
 	}
+	var write, read bool
+	switch {
+	case isStatsMethod(fn, "Counters"):
+		write = fn.Name() == "Inc" || fn.Name() == "Add"
+		read = fn.Name() == "Get"
+	case isStatsMethod(fn, "Metrics"):
+		// The histogram/gauge registry shares the stringly-typed namespace:
+		// Observe/Sample write a metric, Hist/Gauge read it back.
+		write = fn.Name() == "Observe" || fn.Name() == "Sample"
+		read = fn.Name() == "Hist" || fn.Name() == "Gauge"
+	}
 	arg := call.Args[0]
-	switch fn.Name() {
-	case "Inc", "Add":
+	switch {
+	case write:
 		if lit := stringLit(arg); lit != "" {
 			fx.incs = append(fx.incs, site{lit, arg.Pos(), pass})
 			return
@@ -116,7 +132,7 @@ func recordCall(info *types.Info, call *ast.CallExpr, fx *facts, pass *vet.Pass)
 		for _, s := range sufs {
 			fx.incSufs = append(fx.incSufs, site{s, arg.Pos(), pass})
 		}
-	case "Get":
+	case read:
 		if lit := stringLit(arg); lit != "" {
 			fx.gets = append(fx.gets, site{lit, arg.Pos(), pass})
 		}
@@ -145,7 +161,7 @@ func recordGlossary(spec *ast.ValueSpec, fx *facts, pass *vet.Pass) {
 	}
 }
 
-func isCountersMethod(fn *types.Func) bool {
+func isStatsMethod(fn *types.Func, typeName string) bool {
 	sig, ok := fn.Type().(*types.Signature)
 	if !ok || sig.Recv() == nil {
 		return false
@@ -158,7 +174,7 @@ func isCountersMethod(fn *types.Func) bool {
 	if !ok || named.Obj().Pkg() == nil {
 		return false
 	}
-	return named.Obj().Pkg().Path() == statsPkgPath && named.Obj().Name() == "Counters"
+	return named.Obj().Pkg().Path() == statsPkgPath && named.Obj().Name() == typeName
 }
 
 func finish(all []*vet.Pass) []vet.Diagnostic {
@@ -241,10 +257,10 @@ func finish(all []*vet.Pass) []vet.Diagnostic {
 }
 
 // testFileGets scans the package's _test.go files syntactically for
-// `x.Get("name")` calls. Counters asserted by tests count as consumed, but
-// test reads are recorded with NoPos so they are never themselves flagged
-// as read-side typos (tests legitimately Get never-touched names to assert
-// zero values).
+// `x.Get("name")`, `x.Hist("name")` and `x.Gauge("name")` calls. Counters
+// and metrics asserted by tests count as consumed, but test reads are
+// recorded with NoPos so they are never themselves flagged as read-side
+// typos (tests legitimately Get never-touched names to assert zero values).
 func testFileGets(pass *vet.Pass) []site {
 	files, err := filepath.Glob(filepath.Join(pass.Pkg.Dir, "*_test.go"))
 	if err != nil {
@@ -263,7 +279,7 @@ func testFileGets(pass *vet.Pass) []site {
 				return true
 			}
 			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok || sel.Sel.Name != "Get" {
+			if !ok || (sel.Sel.Name != "Get" && sel.Sel.Name != "Hist" && sel.Sel.Name != "Gauge") {
 				return true
 			}
 			if lit := stringLit(call.Args[0]); lit != "" {

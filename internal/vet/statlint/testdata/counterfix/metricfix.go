@@ -1,0 +1,27 @@
+package counterfix
+
+import "bbb/internal/stats"
+
+// The histogram/gauge registry shares the stringly-typed namespace with
+// Counters; statlint audits Observe/Sample as writes and Hist/Gauge as
+// reads with the same three diagnostics.
+
+type meter struct {
+	m *stats.Metrics
+}
+
+func (mt *meter) observe() {
+	mt.m.Observe("hist.documented", 1)  // in the Glossary: fine
+	mt.m.Observe("hist.dead", 2)        // want "counter .hist.dead. is incremented but never read and not documented"
+	mt.m.Sample("gauge.read", 10, 0, 3) // Gauge below: fine
+}
+
+func (mt *meter) view() int {
+	if mt.m.Gauge("gauge.read") != nil {
+		return 1
+	}
+	if mt.m.Hist("hist.typo") != nil { // want "counter .hist.typo. is read but never incremented"
+		return 2
+	}
+	return 0
+}
