@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race invariant fuzz-short mc-short trace-smoke check bench-json
+.PHONY: all build test vet race invariant fuzz-short mc-short litmus-short trace-smoke check bench-json
 
 all: check
 
@@ -34,8 +34,8 @@ invariant:
 # record them as the next BENCH_<n>.json. Non-gating; CI uploads the file
 # as an artifact so regressions are visible across PRs.
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkFig7aExecutionTime|BenchmarkEngineKernel|BenchmarkCrashMCEnumerate|BenchmarkTraceOverhead' \
-		-benchmem . ./internal/engine ./internal/crashmc ./internal/trace \
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkFig7aExecutionTime|BenchmarkEngineKernel|BenchmarkCrashMCEnumerate|BenchmarkAxiomaticEnumerate|BenchmarkTraceOverhead' \
+		-benchmem . ./internal/engine ./internal/crashmc ./internal/axiomatic ./internal/trace \
 		| $(GO) run ./cmd/benchjson > BENCH_$$(ls BENCH_*.json 2>/dev/null | wc -l).json
 	@ls BENCH_*.json | tail -1
 
@@ -67,5 +67,12 @@ fuzz-short:
 mc-short:
 	$(GO) run ./cmd/bbbmc -points 4
 
+# Px86-TSO conformance at short bounds: for every litmus test × scheme,
+# the crashmc-reachable outcome set must sit inside the axiomatic allowed
+# set, with the battery schemes collapsed to a single image per crash
+# point. Exits non-zero with a minimized witness on any divergence.
+litmus-short:
+	$(GO) run ./cmd/bbblitmus conform -points 6
+
 # Tier-1.5: everything above.
-check: build test vet race invariant mc-short trace-smoke
+check: build test vet race invariant mc-short litmus-short trace-smoke

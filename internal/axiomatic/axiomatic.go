@@ -1,0 +1,250 @@
+// Package axiomatic enumerates the post-crash outcomes a Px86-TSO
+// persistency model *allows* for a litmus test, with no simulation: it is
+// the declarative twin of the operational crash-image model checker
+// (internal/crashmc), following the axiomatic presentation of "Taming
+// x86-TSO Persistency" (PAPERS.md).
+//
+// An abstract execution is a pair (M, P):
+//
+//   - M is a memory order — an interleaving of each thread's stores that
+//     preserves program order, which is exactly the TSO guarantee for the
+//     store-to-store case (no store-store reordering per thread); and
+//   - P is a persist set — the stores that reached the persistence domain
+//     before the crash — constrained by the model's nvo (non-volatile
+//     order) axioms over M.
+//
+// The models, weakest to strongest:
+//
+//   - Relaxed (Px86, the PMEM baseline): P must be closed under the
+//     durably-ordered-before relation — b ∈ P forces a ∈ P only when a
+//     flush of a's line and then a fence separate a from b in program
+//     order (clwb; sfence). Anything else persists in any order.
+//   - Epoch (BEP): per thread, persistence proceeds in fence-delimited
+//     epochs — a store in a later epoch durable forces every same-thread
+//     store of strictly earlier epochs durable. Within an epoch and
+//     across threads, any subset may survive.
+//   - Strict (BBB / BBBProc / eADR / NVCache): persist order equals the
+//     visibility order, so P must be a prefix of M — the paper's
+//     battery-backed claim that durability tracks TSO visibility.
+//
+// The crash outcome of (M, P) assigns each variable the value of the
+// M-latest persisted store to it, or the zero init. Enumerate returns the
+// deduplicated outcome set, sorted, so operational ⊆ allowed becomes a
+// subset check (internal/litmus/conform).
+package axiomatic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bbb/internal/litmus"
+)
+
+// Model is a Px86-TSO persistency model.
+type Model int
+
+const (
+	// Relaxed is Px86 as PMEM exposes it: only clwb;sfence induces
+	// persist ordering.
+	Relaxed Model = iota
+	// Epoch is BEP's model: fence-delimited epochs persist in order per
+	// thread.
+	Epoch
+	// Strict is the battery-complete model: persist order = TSO
+	// visibility order.
+	Strict
+)
+
+func (m Model) String() string {
+	switch m {
+	case Relaxed:
+		return "relaxed"
+	case Epoch:
+		return "epoch"
+	case Strict:
+		return "strict"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Models returns every model, weakest first.
+func Models() []Model { return []Model{Relaxed, Epoch, Strict} }
+
+// Outcome is one allowed post-crash state: the durable value of each test
+// variable, in Test.Vars order (0 = the init value).
+type Outcome []uint64
+
+// Less orders outcomes lexicographically.
+func (o Outcome) Less(p Outcome) bool {
+	for i := range o {
+		if o[i] != p[i] {
+			return o[i] < p[i]
+		}
+	}
+	return false
+}
+
+// Equal reports elementwise equality.
+func (o Outcome) Equal(p Outcome) bool {
+	if len(o) != len(p) {
+		return false
+	}
+	for i := range o {
+		if o[i] != p[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Result is the allowed outcome set of one test under one model.
+type Result struct {
+	Test  string
+	Model Model
+	// Outcomes is sorted lexicographically and deduplicated.
+	Outcomes []Outcome
+	// Executions counts the abstract (memory order, persist set) pairs
+	// examined — the enumeration work, before outcome dedup.
+	Executions int
+}
+
+// Contains reports whether o is an allowed outcome (binary search).
+func (r Result) Contains(o Outcome) bool {
+	i := sort.Search(len(r.Outcomes), func(i int) bool { return !r.Outcomes[i].Less(o) })
+	return i < len(r.Outcomes) && r.Outcomes[i].Equal(o)
+}
+
+// SubsetOf reports whether every outcome of r is allowed by s.
+func (r Result) SubsetOf(s Result) bool {
+	for _, o := range r.Outcomes {
+		if !s.Contains(o) {
+			return false
+		}
+	}
+	return true
+}
+
+// maxStores bounds the enumeration: persist sets are enumerated as
+// bitmasks and interleavings grow multinomially, so the corpus keeps
+// tests tiny — as the litmus literature does.
+const maxStores = 16
+
+// Enumerate computes the allowed outcome set of t under m.
+func Enumerate(t *litmus.Test, m Model) Result {
+	stores := t.Stores()
+	if len(stores) > maxStores {
+		panic(fmt.Sprintf("axiomatic: %s has %d stores, limit %d", t.Name, len(stores), maxStores))
+	}
+
+	// nvo implication edges: need[b] is the bitmask of stores that must be
+	// in P whenever store b is. Strict does not use masks at all (prefix
+	// rule); Relaxed and Epoch are memory-order independent, so their
+	// legal persist sets can be precomputed once.
+	var legal []uint32
+	if m != Strict {
+		need := make([]uint32, len(stores))
+		for _, b := range stores {
+			for _, a := range stores {
+				if a.ID == b.ID || a.Thread != b.Thread {
+					continue
+				}
+				switch m {
+				case Relaxed:
+					if t.OrderedBefore(a, b) {
+						need[b.ID] |= 1 << uint(a.ID)
+					}
+				case Epoch:
+					if a.Epoch < b.Epoch {
+						need[b.ID] |= 1 << uint(a.ID)
+					}
+				}
+			}
+		}
+		for mask := uint32(0); mask < 1<<uint(len(stores)); mask++ {
+			ok := true
+			for id := range stores {
+				if mask&(1<<uint(id)) != 0 && mask&need[id] != need[id] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				legal = append(legal, mask)
+			}
+		}
+	}
+
+	// Per-thread store sequences, for interleaving.
+	perThread := make([][]litmus.Store, len(t.Threads))
+	for _, s := range stores {
+		perThread[s.Thread] = append(perThread[s.Thread], s)
+	}
+
+	res := Result{Test: t.Name, Model: m}
+	var outcomes []Outcome
+	order := make([]litmus.Store, 0, len(stores))
+
+	emit := func(order []litmus.Store, mask uint32) {
+		res.Executions++
+		o := make(Outcome, len(t.Vars))
+		for _, s := range order {
+			if mask&(1<<uint(s.ID)) != 0 {
+				o[s.Var] = s.Val
+			}
+		}
+		outcomes = append(outcomes, o)
+	}
+
+	cursors := make([]int, len(perThread))
+	var walk func()
+	walk = func() {
+		done := true
+		for th, seq := range perThread {
+			if cursors[th] < len(seq) {
+				done = false
+				order = append(order, seq[cursors[th]])
+				cursors[th]++
+				walk()
+				cursors[th]--
+				order = order[:len(order)-1]
+			}
+		}
+		if !done {
+			return
+		}
+		// One complete memory order M: apply the model's persist rule.
+		if m == Strict {
+			// P ranges over prefixes of M.
+			var mask uint32
+			emit(order, 0)
+			for _, s := range order {
+				mask |= 1 << uint(s.ID)
+				emit(order, mask)
+			}
+			return
+		}
+		for _, mask := range legal {
+			emit(order, mask)
+		}
+	}
+	walk()
+
+	sort.Slice(outcomes, func(i, j int) bool { return outcomes[i].Less(outcomes[j]) })
+	for i, o := range outcomes {
+		if i == 0 || !o.Equal(outcomes[i-1]) {
+			res.Outcomes = append(res.Outcomes, o)
+		}
+	}
+	return res
+}
+
+// FormatOutcome renders o as "x=1 y=0" using t's variable names.
+func FormatOutcome(t *litmus.Test, o Outcome) string {
+	parts := make([]string, len(o))
+	for i, v := range o {
+		parts[i] = fmt.Sprintf("%s=%d", t.Vars[i], v)
+	}
+	return strings.Join(parts, " ")
+}

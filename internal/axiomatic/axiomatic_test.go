@@ -1,0 +1,185 @@
+package axiomatic
+
+import (
+	"reflect"
+	"testing"
+
+	"bbb/internal/litmus"
+)
+
+func mustTest(t *testing.T, name string) *litmus.Test {
+	t.Helper()
+	tst, err := litmus.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tst
+}
+
+// TestGoldenOutcomeCounts pins hand-derived allowed-set sizes for the
+// corpus shapes whose sets are small enough to enumerate on paper.
+func TestGoldenOutcomeCounts(t *testing.T) {
+	cases := []struct {
+		name                   string
+		relaxed, epoch, strict int
+	}{
+		// Two independent single-store threads: both-or-either-or-neither
+		// under every model.
+		{"sb", 4, 4, 4},
+		{"sb+flush", 4, 4, 4},
+		{"sb+fence", 4, 4, 4},
+		{"lb", 4, 4, 4},
+		{"lb+flush", 4, 4, 4},
+		// Unfenced publish: relaxed allows flag-without-payload (y=1,x=0);
+		// strict forces the program-order prefix.
+		{"mp", 4, 4, 3},
+		{"mp+flush", 4, 4, 3},
+		// clwb x; sfence before the flag: all models agree on the three
+		// prefix outcomes.
+		{"mp+fence", 3, 3, 3},
+		// Three unfenced stores: 2^3 subsets vs 4 prefixes.
+		{"mp3", 8, 8, 4},
+		{"mp3+fence", 4, 4, 4},
+		// x=1, y=1, x=2, z=1 unfenced: x∈{0,1,2} × y∈{0,1} × z∈{0,1}
+		// minus nothing = 12; strict: the 5 prefixes.
+		{"wb", 12, 12, 5},
+		// clwb x; clwb y; sfence before z: z pulls in y and final x, so
+		// relaxed = 6 z-free outcomes + 1; strict unchanged at 5.
+		{"wb+fence", 7, 7, 5},
+		// Fence chain on one line: all models collapse to the 4 prefixes.
+		{"2epoch-line", 4, 4, 4},
+		// 2+2W bare: every model sees 3×3 value pairs except strict,
+		// which cannot persist a thread's second store alone (drops
+		// (x=2,y=0) and (x=0,y=2)).
+		{"2+2w", 9, 9, 7},
+	}
+	for _, c := range cases {
+		tst := mustTest(t, c.name)
+		for _, mc := range []struct {
+			m    Model
+			want int
+		}{{Relaxed, c.relaxed}, {Epoch, c.epoch}, {Strict, c.strict}} {
+			got := Enumerate(tst, mc.m)
+			if len(got.Outcomes) != mc.want {
+				t.Errorf("%s/%s: %d outcomes, want %d: %v", c.name, mc.m, len(got.Outcomes), mc.want, got.Outcomes)
+			}
+			if got.Executions <= 0 {
+				t.Errorf("%s/%s: Executions = %d", c.name, mc.m, got.Executions)
+			}
+		}
+	}
+}
+
+// TestModelSeparation pins the witnesses that separate the models: the
+// outcomes a weaker model allows and a stronger one forbids.
+func TestModelSeparation(t *testing.T) {
+	mp := mustTest(t, "mp")
+	flagOnly := Outcome{0, 1} // y durable without x
+	if !Enumerate(mp, Relaxed).Contains(flagOnly) {
+		t.Error("mp/relaxed must allow the flag-without-payload outcome")
+	}
+	if Enumerate(mp, Strict).Contains(flagOnly) {
+		t.Error("mp/strict must forbid the flag-without-payload outcome")
+	}
+
+	mpf := mustTest(t, "mp+fence")
+	if Enumerate(mpf, Relaxed).Contains(flagOnly) {
+		t.Error("mp+fence/relaxed must forbid flag-without-payload (clwb;sfence orders it)")
+	}
+
+	w22 := mustTest(t, "2+2w")
+	secondAlone := Outcome{2, 0} // T1's x=2 without its earlier y=1
+	if !Enumerate(w22, Relaxed).Contains(secondAlone) {
+		t.Error("2+2w/relaxed must allow a second store to persist alone")
+	}
+	if Enumerate(w22, Strict).Contains(secondAlone) {
+		t.Error("2+2w/strict must forbid a second store persisting before its predecessor")
+	}
+}
+
+// TestEpochWithoutFlushStillOrders pins the Epoch model's defining
+// feature: a bare fence (epoch boundary) orders persists even with no
+// flush, where relaxed Px86 does not.
+func TestEpochWithoutFlushStillOrders(t *testing.T) {
+	tst := &litmus.Test{
+		Name: "mp+fence-noflush",
+		Doc:  "fence with no flush: orders under epoch, not under relaxed",
+		Vars: []string{"x", "y"},
+		Threads: [][]litmus.Op{
+			{litmus.St(0, 1), litmus.Fn(), litmus.St(1, 1)},
+		},
+	}
+	if err := tst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	flagOnly := Outcome{0, 1}
+	if !Enumerate(tst, Relaxed).Contains(flagOnly) {
+		t.Error("relaxed must allow y without x: a fence with no clwb persists nothing")
+	}
+	if Enumerate(tst, Epoch).Contains(flagOnly) {
+		t.Error("epoch must forbid y without x: the stores are in different epochs")
+	}
+	if Enumerate(tst, Strict).Contains(flagOnly) {
+		t.Error("strict must forbid y without x")
+	}
+}
+
+// TestSubsetChain pins strict ⊆ epoch ⊆ relaxed for the whole corpus —
+// the containment the conformance gate's scheme→model mapping relies on.
+// (It holds because the generator always flushes an epoch's dirty vars
+// before fencing; TestEpochWithoutFlushStillOrders shows the DSL can
+// express programs where epoch and relaxed diverge.)
+func TestSubsetChain(t *testing.T) {
+	for _, tst := range litmus.Corpus() {
+		strict := Enumerate(tst, Strict)
+		epoch := Enumerate(tst, Epoch)
+		relaxed := Enumerate(tst, Relaxed)
+		if !strict.SubsetOf(epoch) {
+			t.Errorf("%s: strict ⊄ epoch", tst.Name)
+		}
+		if !epoch.SubsetOf(relaxed) {
+			t.Errorf("%s: epoch ⊄ relaxed", tst.Name)
+		}
+		if len(strict.Outcomes) == 0 {
+			t.Errorf("%s: empty strict set (the all-zero init outcome is always allowed)", tst.Name)
+		}
+		zero := make(Outcome, len(tst.Vars))
+		if !strict.Contains(zero) {
+			t.Errorf("%s: strict must allow the crash-before-anything outcome", tst.Name)
+		}
+	}
+}
+
+// TestEnumerateDeterministic pins that enumerating the same test twice
+// yields deep-equal results — the satellite determinism requirement.
+func TestEnumerateDeterministic(t *testing.T) {
+	for _, tst := range litmus.Corpus() {
+		for _, m := range Models() {
+			a := Enumerate(tst, m)
+			b := Enumerate(tst, m)
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("%s/%s: two enumerations differ", tst.Name, m)
+			}
+		}
+	}
+}
+
+// TestOutcomesSortedDeduped pins the Result invariants Contains depends
+// on: strictly increasing lexicographic order.
+func TestOutcomesSortedDeduped(t *testing.T) {
+	for _, tst := range litmus.Corpus() {
+		for _, m := range Models() {
+			r := Enumerate(tst, m)
+			for i := 1; i < len(r.Outcomes); i++ {
+				if !r.Outcomes[i-1].Less(r.Outcomes[i]) {
+					t.Errorf("%s/%s: outcomes not strictly sorted at %d: %v", tst.Name, m, i, r.Outcomes)
+				}
+			}
+			for _, o := range r.Outcomes {
+				if !r.Contains(o) {
+					t.Errorf("%s/%s: Contains misses own outcome %v", tst.Name, m, o)
+				}
+			}
+		}
+	}
+}

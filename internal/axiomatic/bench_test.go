@@ -1,0 +1,26 @@
+package axiomatic
+
+import (
+	"testing"
+
+	"bbb/internal/litmus"
+)
+
+// BenchmarkAxiomaticEnumerate measures abstract-execution throughput over
+// the full corpus × model matrix. `make bench-json` records executions/s
+// in the BENCH_<n>.json trail, covering the declarative pass alongside
+// the operational BenchmarkCrashMCEnumerate.
+func BenchmarkAxiomaticEnumerate(b *testing.B) {
+	corpus := litmus.Corpus()
+	execs := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, t := range corpus {
+			for _, m := range Models() {
+				r := Enumerate(t, m)
+				execs += r.Executions
+			}
+		}
+	}
+	b.ReportMetric(float64(execs)/b.Elapsed().Seconds(), "executions/s")
+}

@@ -29,6 +29,18 @@ type Env interface {
 	// PersistBarrier orders earlier persisting stores to the named lines
 	// before any later store, using whatever the active scheme requires.
 	PersistBarrier(addrs ...memory.Addr)
+	// Flush writes the line holding addr back toward the persistence
+	// domain without ordering anything: a clwb under the PMEM baseline,
+	// a no-op everywhere else (BEP orders through epoch marks, and the
+	// battery schemes persist at commit). Flush alone guarantees nothing —
+	// only a following Fence does, exactly as clwb/sfence on real x86.
+	Flush(addr memory.Addr)
+	// Fence orders earlier flushed lines before any later store: an sfence
+	// under the PMEM baseline, an epoch boundary under BEP, and a no-op
+	// under the battery schemes. Flush+Fence is PersistBarrier split into
+	// its two x86 halves, which the litmus harness (internal/litmus) needs
+	// to express the Px86-TSO shapes that clwb-without-sfence allows.
+	Fence()
 	// Compute burns n core cycles of non-memory work.
 	Compute(n engine.Cycle)
 	// CompareAndSwap atomically replaces the size-byte value at addr with
@@ -83,6 +95,24 @@ func (e *env) PersistBarrier(addrs ...memory.Addr) {
 	}
 	for _, a := range addrs {
 		e.do(request{kind: reqPersist, addr: a})
+	}
+	e.do(request{kind: reqFence})
+}
+
+func (e *env) Flush(addr memory.Addr) {
+	if !e.core.cfg.ExplicitPersist {
+		return
+	}
+	e.do(request{kind: reqPersist, addr: addr})
+}
+
+func (e *env) Fence() {
+	if e.core.cfg.EpochMode {
+		e.do(request{kind: reqEpoch})
+		return
+	}
+	if !e.core.cfg.ExplicitPersist {
+		return
 	}
 	e.do(request{kind: reqFence})
 }

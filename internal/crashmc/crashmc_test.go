@@ -140,6 +140,7 @@ func TestGoldenImageCounts(t *testing.T) {
 		{"pmem-nobarriers", persistency.PMEM, true, goldenPMEMNoBarrierImages, goldenPMEMNoBarrierViolations},
 		{"pmem-barriers", persistency.PMEM, false, goldenPMEMBarrierImages, 0},
 		{"bep-barriers", persistency.BEP, false, goldenBEPBarrierImages, 0},
+		{"bep-nobarriers", persistency.BEP, true, goldenBEPNoBarrierImages, goldenBEPNoBarrierViolations},
 		{"bbb", persistency.BBB, true, 3, 0},
 		{"eadr", persistency.EADR, true, 3, 0},
 	}
@@ -177,6 +178,44 @@ func TestWitnessRoundTripAndReplay(t *testing.T) {
 	}
 	if !out.Reproduced {
 		t.Fatalf("replay did not reproduce: got %q, witness says %q", out.Err, wit.Err)
+	}
+}
+
+func TestWitnessSchemaVersion(t *testing.T) {
+	rep := mcConfig(workload.NewLinkedList(), persistency.PMEM, true).Run()
+	wit := rep.FirstWitness()
+	if wit == nil {
+		t.Fatal("no witness")
+	}
+	if wit.SchemaVersion != WitnessSchemaVersion {
+		t.Fatalf("fresh witness carries schema version %d, want %d", wit.SchemaVersion, WitnessSchemaVersion)
+	}
+	data, err := wit.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed, perr := ParseWitness(data); perr != nil || parsed.SchemaVersion != WitnessSchemaVersion {
+		t.Fatalf("schema version did not round-trip: %v, %+v", perr, parsed)
+	}
+
+	// A witness from a different schema era must be rejected, not
+	// misreplayed — including pre-versioned witnesses, which decode as
+	// version 0.
+	future := *wit
+	future.SchemaVersion = WitnessSchemaVersion + 1
+	if data, err = future.MarshalIndent(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseWitness(data); err == nil {
+		t.Fatal("ParseWitness accepted a future schema version")
+	}
+	old := *wit
+	old.SchemaVersion = 0
+	if data, err = old.MarshalIndent(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseWitness(data); err == nil {
+		t.Fatal("ParseWitness accepted a pre-versioned witness")
 	}
 }
 

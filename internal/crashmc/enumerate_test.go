@@ -13,6 +13,12 @@ const (
 	goldenPMEMNoBarrierViolations = 992
 	goldenPMEMBarrierImages       = 4
 	goldenBEPBarrierImages        = 448
+	// Without epoch barriers every BEP write coalesces into one epoch, so
+	// the epoch rule degenerates to free-class enumeration over a pending
+	// set the VPB kept larger than PMEM's caches would — the axiomatic
+	// Epoch model leans on exactly this enumeration rule.
+	goldenBEPNoBarrierImages     = 8448
+	goldenBEPNoBarrierViolations = 6659
 )
 
 // testRecord builds a synthetic record over a zeroed base image.

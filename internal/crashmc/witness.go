@@ -17,10 +17,20 @@ import (
 // crash cycle, re-apply the exact surviving-write subset and watch the
 // recovery checker fail the same way. bbbmc -repro replays one.
 //
+// WitnessSchemaVersion is the wire format of Witness. Bump it whenever a
+// field changes meaning or the survivor-matching rules move, so bbbmc
+// -repro and bbblitmus explain reject stale witnesses instead of silently
+// misreplaying them.
+const WitnessSchemaVersion = 1
+
 // The witness pins every knob the model checker varies from the default
 // Table III machine; all other configuration is assumed default.
 type Witness struct {
-	Workload     string `json:"workload"`
+	// SchemaVersion is WitnessSchemaVersion at write time; ParseWitness
+	// rejects any other value (including its absence in pre-versioned
+	// witnesses).
+	SchemaVersion int    `json:"schema_version"`
+	Workload      string `json:"workload"`
 	Scheme       string `json:"scheme"`
 	NoBarriers   bool   `json:"no_barriers,omitempty"`
 	Threads      int    `json:"threads"`
@@ -51,6 +61,7 @@ type WitnessWrite struct {
 // newWitness pins a minimized violation for replay.
 func newWitness(c Config, crashAt engine.Cycle, rec *Record, survivors []int, errStr string) *Witness {
 	w := &Witness{
+		SchemaVersion:  WitnessSchemaVersion,
 		Workload:       c.Workload.Name(),
 		Scheme:         c.Scheme.String(),
 		NoBarriers:     c.Params.NoBarriers,
@@ -84,6 +95,10 @@ func ParseWitness(data []byte) (*Witness, error) {
 	if err := json.Unmarshal(data, &w); err != nil {
 		return nil, fmt.Errorf("crashmc: bad witness: %w", err)
 	}
+	if w.SchemaVersion != WitnessSchemaVersion {
+		return nil, fmt.Errorf("crashmc: witness schema version %d, this build speaks %d — regenerate the witness",
+			w.SchemaVersion, WitnessSchemaVersion)
+	}
 	if w.Workload == "" || w.Scheme == "" {
 		return nil, fmt.Errorf("crashmc: witness missing workload or scheme")
 	}
@@ -101,16 +116,21 @@ type ReplayOutcome struct {
 	Reproduced bool
 }
 
-// Replay rebuilds the witnessed machine, runs the workload to the crash
-// cycle, re-applies the surviving-write subset and re-checks the image.
-func Replay(w *Witness) (ReplayOutcome, error) {
+// Recapture rebuilds the witnessed machine, runs the workload to the
+// crash cycle, recaptures its pending set and resolves the witness's
+// surviving writes against it — everything Replay does short of image
+// validation, so other validators (bbblitmus explain checks against the
+// axiomatic allowed set rather than the recovery checker) can share the
+// reconstruction. The returned workload is the resolved instance whose
+// Setup ran inside the rebuilt machine.
+func (w *Witness) Recapture() (workload.Workload, *Record, []int, error) {
 	wl, err := workload.ByName(w.Workload)
 	if err != nil {
-		return ReplayOutcome{}, err
+		return nil, nil, nil, err
 	}
 	scheme, err := persistency.ParseScheme(w.Scheme)
 	if err != nil {
-		return ReplayOutcome{}, err
+		return nil, nil, nil, err
 	}
 	cfg := system.DefaultConfig(scheme)
 	if w.L1Size > 0 {
@@ -137,11 +157,25 @@ func Replay(w *Witness) (ReplayOutcome, error) {
 
 	survivors, err := matchSurvivors(rec, w.Survivors)
 	if err != nil {
-		return ReplayOutcome{Pending: len(rec.Pending)}, err
+		return wl, rec, nil, err
 	}
 	if !legalSet(rec, survivors) {
-		return ReplayOutcome{Pending: len(rec.Pending)},
+		return wl, rec, nil,
 			fmt.Errorf("crashmc: witness survival set is not legal under %s ordering", w.Scheme)
+	}
+	return wl, rec, survivors, nil
+}
+
+// Replay rebuilds the witnessed machine, runs the workload to the crash
+// cycle, re-applies the surviving-write subset and re-checks the image.
+func Replay(w *Witness) (ReplayOutcome, error) {
+	wl, rec, survivors, err := w.Recapture()
+	if err != nil {
+		out := ReplayOutcome{}
+		if rec != nil {
+			out.Pending = len(rec.Pending)
+		}
+		return out, err
 	}
 	img := materialize(rec, survivors)
 	scratch := rec.Base.Clone()

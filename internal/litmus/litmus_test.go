@@ -1,0 +1,185 @@
+package litmus
+
+import (
+	"bytes"
+	"os"
+	"reflect"
+	"testing"
+
+	"bbb/internal/persistency"
+	"bbb/internal/system"
+	"bbb/internal/workload"
+)
+
+// TestCorpusValidates pins corpus hygiene: every test validates, names
+// are unique, and thread counts stay within the shapes we generate.
+func TestCorpusValidates(t *testing.T) {
+	seen := map[string]bool{}
+	for _, tc := range Corpus() {
+		if err := tc.Validate(); err != nil {
+			t.Errorf("%s: %v", tc.Name, err)
+		}
+		if seen[tc.Name] {
+			t.Errorf("duplicate test name %q", tc.Name)
+		}
+		seen[tc.Name] = true
+		if n := len(tc.Threads); n < 1 || n > 2 {
+			t.Errorf("%s: %d threads, corpus shapes use 1 or 2", tc.Name, n)
+		}
+	}
+	if len(seen) < 12 {
+		t.Errorf("corpus has %d tests, expected the full shape set (>=12)", len(seen))
+	}
+}
+
+// TestCorpusDeterministic pins that two generator invocations agree, both
+// symbolically and as emitted source.
+func TestCorpusDeterministic(t *testing.T) {
+	if !reflect.DeepEqual(Corpus(), Corpus()) {
+		t.Fatal("Corpus() is not deterministic")
+	}
+	a, err := EmitGo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EmitGo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("EmitGo() is not deterministic")
+	}
+}
+
+// TestCorpusGenFresh fails when corpus.go and the checked-in
+// corpus_gen.go drift: rerun `bbblitmus generate -go` to refresh.
+func TestCorpusGenFresh(t *testing.T) {
+	want, err := EmitGo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile("corpus_gen.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("corpus_gen.go is stale; run `go run ./cmd/bbblitmus generate -go` to regenerate")
+	}
+}
+
+// TestGenProgramsMatchCorpus pins that the generated table covers exactly
+// the corpus, with one program per thread.
+func TestGenProgramsMatchCorpus(t *testing.T) {
+	tests := Corpus()
+	if len(genPrograms) != len(tests) {
+		t.Fatalf("genPrograms has %d entries, corpus has %d", len(genPrograms), len(tests))
+	}
+	for _, tc := range tests {
+		fns, ok := genPrograms[tc.Name]
+		if !ok {
+			t.Errorf("%s: no generated programs", tc.Name)
+			continue
+		}
+		if len(fns) != len(tc.Threads) {
+			t.Errorf("%s: %d generated programs for %d threads", tc.Name, len(fns), len(tc.Threads))
+		}
+	}
+}
+
+// TestOrderedBefore pins the durably-ordered-before relation on the MP
+// variants: only flush+fence between the stores orders them.
+func TestOrderedBefore(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		want bool
+	}{
+		{"mp", false},       // nothing between the stores
+		{"mp+flush", false}, // clwb without sfence orders nothing
+		{"mp+fence", true},  // clwb x; sfence: x before y
+	} {
+		tst, err := ByName(tc.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := tst.Stores()
+		var x, y Store
+		for _, s := range st {
+			switch s.Var {
+			case vx:
+				x = s
+			case vy:
+				y = s
+			}
+		}
+		if got := tst.OrderedBefore(x, y); got != tc.want {
+			t.Errorf("%s: OrderedBefore(x,y) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestStoresEpochs pins epoch assignment on the two-fence chain.
+func TestStoresEpochs(t *testing.T) {
+	tst, err := ByName("mp3+fence")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int
+	for _, s := range tst.Stores() {
+		got = append(got, s.Epoch)
+	}
+	if want := []int{0, 1, 2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("mp3+fence store epochs = %v, want %v", got, want)
+	}
+}
+
+// TestWorkloadRunsEverySchemeAndChecks smoke-runs every executable twin
+// to completion under every scheme; the recovery checker must accept the
+// final image, and the final image must be the all-stores-latest outcome.
+func TestWorkloadRunsEverySchemeAndChecks(t *testing.T) {
+	for _, tc := range Corpus() {
+		for _, s := range persistency.Schemes() {
+			wl := NewWorkload(tc)
+			cfg := system.DefaultConfig(s)
+			p := workload.Params{Threads: len(tc.Threads), OpsPerThread: 1, Seed: 1}
+			sys, _, _ := workload.RunToCrash(wl, s, cfg, p, 1<<40)
+			if err := wl.Check(sys.Mem); err != nil {
+				t.Errorf("%s/%s: %v", tc.Name, s, err)
+			}
+			// Only the battery schemes guarantee the completed run is
+			// durable in full: PMEM loses unflushed cache lines at the
+			// crash, BEP loses the open epoch.
+			tr := persistency.TraitsOf(s)
+			if tr.ExplicitPersist || tr.EpochMode {
+				continue
+			}
+			out := wl.ReadOutcome(sys.Mem)
+			for i := range tc.Vars {
+				if out[i] == 0 && len(tc.WrittenVals(i)) > 0 {
+					t.Errorf("%s/%s: var %s still 0 after completed run + flush-on-fail", tc.Name, s, tc.Vars[i])
+				}
+			}
+		}
+	}
+}
+
+// TestByNameResolvesViaWorkloadRegistry pins the Register hook: witness
+// replay resolves litmus workloads by name, with fresh state per lookup.
+func TestByNameResolvesViaWorkloadRegistry(t *testing.T) {
+	a, err := workload.ByName("litmus/mp+fence")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := workload.ByName("litmus/mp+fence")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("workload.ByName returned a shared litmus instance; replay needs fresh state")
+	}
+	if a.Name() != "litmus/mp+fence" {
+		t.Fatalf("resolved %q", a.Name())
+	}
+	if _, err := workload.ByName("litmus/nope"); err == nil {
+		t.Fatal("unknown litmus name resolved")
+	}
+}

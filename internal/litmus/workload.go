@@ -1,0 +1,132 @@
+package litmus
+
+import (
+	"fmt"
+
+	"bbb/internal/cpu"
+	"bbb/internal/memory"
+	"bbb/internal/palloc"
+	"bbb/internal/system"
+	"bbb/internal/workload"
+)
+
+// progFn is one litmus thread body. v holds each test variable's line
+// address, in Test.Vars order; corpus_gen.go defines one progFn per
+// thread of every corpus test.
+type progFn func(e cpu.Env, v []memory.Addr)
+
+// Workload adapts one litmus test to the workload.Workload interface so
+// the machine runner and the crash-image model checker can execute it
+// like any Table IV benchmark. Its name is "litmus/<test>".
+type Workload struct {
+	test  *Test
+	addrs []memory.Addr
+}
+
+var _ workload.Workload = (*Workload)(nil)
+
+// NewWorkload wraps test t; t must be a corpus test (its executable twin
+// must exist in corpus_gen.go).
+func NewWorkload(t *Test) *Workload {
+	if _, ok := genPrograms[t.Name]; !ok {
+		panic(fmt.Sprintf("litmus: test %q has no generated programs (rerun bbblitmus generate -go)", t.Name))
+	}
+	return &Workload{test: t}
+}
+
+func (w *Workload) Name() string        { return "litmus/" + w.test.Name }
+func (w *Workload) Description() string { return w.test.Doc }
+
+// PaperPStores is 0: litmus tests are not Table IV rows.
+func (w *Workload) PaperPStores() float64 { return 0 }
+
+// Setup gives each variable its own persistent cache line, zeroed.
+func (w *Workload) Setup(mem *memory.Memory, arena *palloc.Arena, p workload.Params) {
+	w.addrs = make([]memory.Addr, len(w.test.Vars))
+	for i := range w.test.Vars {
+		a := arena.Alloc(memory.LineSize)
+		pokeVar(mem, a, 0)
+		w.addrs[i] = a
+	}
+}
+
+// Programs returns the test's per-thread executable twins. The thread
+// count is part of the test, so p.Threads must match it.
+func (w *Workload) Programs(p workload.Params) []system.Program {
+	fns := genPrograms[w.test.Name]
+	if p.Threads != len(fns) {
+		panic(fmt.Sprintf("litmus %s: test has %d threads, params ask for %d", w.test.Name, len(fns), p.Threads))
+	}
+	progs := make([]system.Program, len(fns))
+	for i, fn := range fns {
+		fn := fn
+		progs[i] = func(e cpu.Env) { fn(e, w.addrs) }
+	}
+	return progs
+}
+
+// Check accepts any durable image where each variable holds either its
+// zero init or some value the test actually stores to it. Which
+// combinations a scheme may legally expose is the axiomatic layer's
+// question, not this recovery-shaped sanity check's.
+func (w *Workload) Check(mem *memory.Memory) error {
+	for i, name := range w.test.Vars {
+		got := peekVar(mem, w.addrs[i])
+		if got == 0 {
+			continue
+		}
+		ok := false
+		for _, v := range w.test.WrittenVals(i) {
+			if v == got {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("litmus %s: var %s holds %d, which no store ever wrote", w.test.Name, name, got)
+		}
+	}
+	return nil
+}
+
+// VarAddrs returns each variable's line address, in Test.Vars order.
+// Valid after Setup.
+func (w *Workload) VarAddrs() []memory.Addr { return w.addrs }
+
+// ReadOutcome decodes a durable image into the per-variable outcome
+// vector the axiomatic layer speaks.
+func (w *Workload) ReadOutcome(mem *memory.Memory) []uint64 {
+	out := make([]uint64, len(w.addrs))
+	for i, a := range w.addrs {
+		out[i] = peekVar(mem, a)
+	}
+	return out
+}
+
+// peekVar and pokeVar are the little-endian uint64 image accessors (the
+// workload package keeps its equivalents unexported).
+func peekVar(mem *memory.Memory, a memory.Addr) uint64 {
+	b := mem.Peek(a, 8)
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+func pokeVar(mem *memory.Memory, a memory.Addr, v uint64) {
+	b := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * uint(i)))
+	}
+	mem.Poke(a, b)
+}
+
+// init publishes every corpus test under "litmus/<name>" so witness
+// replay (workload.ByName) can rebuild litmus machines.
+func init() {
+	for _, t := range Corpus() {
+		t := t
+		workload.Register(func() workload.Workload { return NewWorkload(t) })
+	}
+}

@@ -57,6 +57,37 @@ func TestCrashMCZeroSuppressions(t *testing.T) {
 	}
 }
 
+// TestLitmusZeroSuppressions holds the generated litmus corpus (and the
+// axiomatic checker beside it) to the same bar as crashmc: the full
+// analyzer set must report nothing, with zero //bbbvet:ignore directives.
+// The corpus is machine-emitted, so a single finding means the generator
+// regressed — its commit-store annotations come from the symbolic
+// durably-ordered-before relation and must keep persistlint clean across
+// regenerations.
+func TestLitmusZeroSuppressions(t *testing.T) {
+	for _, pkg := range []string{"bbb/internal/litmus", "bbb/internal/axiomatic"} {
+		pkgs, fset, err := vet.Load("", pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		analyzers := []*vet.Analyzer{
+			locklint.Analyzer, detlint.Analyzer, statlint.Analyzer,
+			cyclelint.Analyzer, persistlint.Analyzer,
+		}
+		diags, err := vet.RunAll(pkgs, fset, analyzers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			if d.Ignored {
+				t.Errorf("%s carries a suppression (the generated corpus must stay clean without them): %s", pkg, d)
+			} else {
+				t.Errorf("%s finding: %s", pkg, d)
+			}
+		}
+	}
+}
+
 // TestLoadModulePackages smoke-tests the hermetic loader against the real
 // module: the engine package must load, type-check, and expose its types.
 func TestLoadModulePackages(t *testing.T) {

@@ -87,10 +87,28 @@ func Extras() []Workload {
 	return []Workload{NewLinkedList(), NewBTree(), NewWAL()}
 }
 
-// ByName finds a registered workload (Table IV rows plus Extras).
+// extraFactories holds workloads registered by other packages. They are
+// factories, not instances, so every ByName lookup gets fresh state —
+// matching how Registry and Extras construct on each call (the crash-image
+// checker relies on that for its parallel sweeps).
+var extraFactories []func() Workload
+
+// Register adds a workload constructor to the ByName namespace. It exists
+// for generated corpora (the litmus tests of internal/litmus): registered
+// workloads resolve by name — so witness replay finds them — but stay out
+// of Registry and Extras, leaving the experiment matrices untouched.
+func Register(f func() Workload) { extraFactories = append(extraFactories, f) }
+
+// ByName finds a registered workload (Table IV rows, Extras, and anything
+// added via Register).
 func ByName(name string) (Workload, error) {
 	for _, w := range append(Registry(), Extras()...) {
 		if w.Name() == name {
+			return w, nil
+		}
+	}
+	for _, f := range extraFactories {
+		if w := f(); w.Name() == name {
 			return w, nil
 		}
 	}
