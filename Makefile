@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race invariant fuzz-short mc-short litmus-short trace-smoke check bench-json
+.PHONY: all build test vet race invariant fuzz-short mc-short litmus-short pressure-short trace-smoke check bench-json
 
 all: check
 
@@ -34,8 +34,8 @@ invariant:
 # record them as the next BENCH_<n>.json. Non-gating; CI uploads the file
 # as an artifact so regressions are visible across PRs.
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkFig7aExecutionTime|BenchmarkEngineKernel|BenchmarkCrashMCEnumerate|BenchmarkAxiomaticEnumerate|BenchmarkTraceOverhead' \
-		-benchmem . ./internal/engine ./internal/crashmc ./internal/axiomatic ./internal/trace \
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkFig7aExecutionTime|BenchmarkEngineKernel|BenchmarkCrashMCEnumerate|BenchmarkAxiomaticEnumerate|BenchmarkTraceOverhead|BenchmarkPressureLint' \
+		-benchmem . ./internal/engine ./internal/crashmc ./internal/axiomatic ./internal/trace ./internal/vet/pressurelint \
 		| $(GO) run ./cmd/benchjson > BENCH_$$(ls BENCH_*.json 2>/dev/null | wc -l).json
 	@ls BENCH_*.json | tail -1
 
@@ -67,6 +67,15 @@ fuzz-short:
 mc-short:
 	$(GO) run ./cmd/bbbmc -points 4
 
+# Pressure-bound soundness gate: replay every Table IV workload × scheme
+# pair and check the observed buffer occupancy, runtime invariants and
+# crashmc pending-line sets against pressurelint's static battery-bound
+# certificates; also pins the checked-in golden (regenerate with
+# `go test ./internal/vet/pressurelint/conform -run Golden -update`).
+# Exits non-zero with a minimized witness on any exceedance.
+pressure-short:
+	$(GO) test -count=1 ./internal/vet/pressurelint/conform
+
 # Px86-TSO conformance at short bounds: for every litmus test × scheme,
 # the crashmc-reachable outcome set must sit inside the axiomatic allowed
 # set, with the battery schemes collapsed to a single image per crash
@@ -75,4 +84,4 @@ litmus-short:
 	$(GO) run ./cmd/bbblitmus conform -points 6
 
 # Tier-1.5: everything above.
-check: build test vet race invariant mc-short litmus-short trace-smoke
+check: build test vet race invariant mc-short litmus-short pressure-short trace-smoke

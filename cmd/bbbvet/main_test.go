@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// scratchModule writes a throwaway single-package module and returns its
+// directory. The malformed-ignore diagnostic (an //bbbvet:ignore with no
+// reason) is the finding trigger: it is analyzer-independent, so the test
+// does not depend on any one lint's heuristics.
+func scratchModule(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module scratch\n\ngo 1.23\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "scratch.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestExitCleanIsZero(t *testing.T) {
+	dir := scratchModule(t, "package scratch\n\nfunc F() int { return 1 }\n")
+	var out, errb bytes.Buffer
+	if code := run(&out, &errb, []string{"-dir", dir, "./..."}); code != 0 {
+		t.Fatalf("clean module: exit %d, stderr:\n%s\nstdout:\n%s", code, errb.String(), out.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean module printed: %q", out.String())
+	}
+}
+
+func TestExitFindingsIsOne(t *testing.T) {
+	dir := scratchModule(t, "package scratch\n\n//bbbvet:ignore\nfunc F() int { return 1 }\n")
+	var out, errb bytes.Buffer
+	if code := run(&out, &errb, []string{"-dir", dir, "./..."}); code != 1 {
+		t.Fatalf("module with finding: exit %d, want 1; stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "malformed ignore directive") {
+		t.Errorf("finding not printed: %q", out.String())
+	}
+}
+
+func TestExitLoadFailureIsTwo(t *testing.T) {
+	var out, errb bytes.Buffer
+	// A directory with no go.mod: go list fails, which is an internal
+	// error, not a finding.
+	if code := run(&out, &errb, []string{"-dir", t.TempDir(), "./..."}); code != 2 {
+		t.Fatalf("load failure: exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "bbbvet:") {
+		t.Errorf("no error message on stderr: %q", errb.String())
+	}
+}
+
+func TestExitUnknownAnalyzerIsTwo(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(&out, &errb, []string{"-only", "nosuchlint", "./..."}); code != 2 {
+		t.Fatalf("unknown analyzer: exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown analyzer") {
+		t.Errorf("stderr: %q", errb.String())
+	}
+}
+
+func TestSARIFFlagWritesLog(t *testing.T) {
+	dir := scratchModule(t, "package scratch\n\n//bbbvet:ignore\nfunc F() int { return 1 }\n")
+	sarifPath := filepath.Join(t.TempDir(), "out.sarif")
+	var out, errb bytes.Buffer
+	if code := run(&out, &errb, []string{"-dir", dir, "-sarif", sarifPath, "./..."}); code != 1 {
+		t.Fatalf("exit %d, want 1 (findings still gate with -sarif); stderr:\n%s", code, errb.String())
+	}
+	raw, err := os.ReadFile(sarifPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []json.RawMessage `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(raw, &log); err != nil {
+		t.Fatalf("SARIF output does not parse: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 || len(log.Runs[0].Results) == 0 {
+		t.Errorf("unexpected SARIF shape: version=%q runs=%d", log.Version, len(log.Runs))
+	}
+}
+
+func TestPressureReportFlag(t *testing.T) {
+	// The report runs against the real module (the repo root relative to
+	// this test's working directory), restricted to the workload package.
+	var out, errb bytes.Buffer
+	code := run(&out, &errb, []string{"-dir", "../..", "-pressure-report", "-", "./internal/workload"})
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; stderr:\n%s", code, errb.String())
+	}
+	var rep struct {
+		Threads      int `json:"threads"`
+		Certificates []struct {
+			Unit string `json:"unit"`
+		} `json:"certificates"`
+		Bounds []struct {
+			Unit   string `json:"unit"`
+			Scheme string `json:"scheme"`
+			Bound  struct {
+				MaxDirtyLines int `json:"maxDirtyLines"`
+			} `json:"bound"`
+			Battery []json.RawMessage `json:"battery"`
+		} `json:"bounds"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("pressure report does not parse: %v\n%s", err, out.String())
+	}
+	if len(rep.Certificates) == 0 {
+		t.Fatal("no certificates in report")
+	}
+	units := map[string]bool{}
+	for _, c := range rep.Certificates {
+		units[c.Unit] = true
+	}
+	for _, want := range []string{"Array", "Hashmap", "RTree", "CTree"} {
+		if !units[want] {
+			t.Errorf("report missing Table IV unit %s", want)
+		}
+	}
+	if want := len(rep.Certificates) * 6; len(rep.Bounds) != want {
+		t.Errorf("got %d bound rows, want %d (units × schemes)", len(rep.Bounds), want)
+	}
+	for _, b := range rep.Bounds {
+		if b.Bound.MaxDirtyLines <= 0 {
+			t.Errorf("%s × %s: non-positive MaxDirtyLines", b.Unit, b.Scheme)
+		}
+		batteryScheme := b.Scheme == "bbb" || b.Scheme == "bbb-proc" || b.Scheme == "bep"
+		if batteryScheme && len(b.Battery) == 0 {
+			t.Errorf("%s × %s: battery scheme without sizing rows", b.Unit, b.Scheme)
+		}
+		if !batteryScheme && len(b.Battery) != 0 {
+			t.Errorf("%s × %s: unexpected battery rows", b.Unit, b.Scheme)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package energy
+
+// This file feeds pressurelint's static battery-bound certificates into
+// the §IV-C sizing model. Table IX provisions BBB's battery for the
+// structural worst case — every entry of every core's bbPB full. A
+// certified per-core occupancy bound below the capacity shrinks the
+// payload the battery must drain, and therefore the battery itself; these
+// rows quantify that, next to the full-buffer baseline.
+
+// CertifiedBBBDrainBytes is the drain payload under a certified per-core
+// occupancy bound: cores × perCoreLines × line. With perCoreLines equal
+// to the bbPB capacity it reduces to BBBDrainBytes.
+func (m CostModel) CertifiedBBBDrainBytes(p Platform, perCoreLines int) uint64 {
+	return uint64(p.Cores) * uint64(perCoreLines) * uint64(m.LineBytes)
+}
+
+// CertifiedBatteryRow is one (platform, technology) battery sizing under
+// a certified per-core bound, with the ratio to the full-buffer
+// provisioning of Table IX.
+type CertifiedBatteryRow struct {
+	Platform        string  `json:"platform"`
+	Tech            string  `json:"tech"`
+	PerCoreLines    int     `json:"perCoreLines"`
+	DrainBytes      uint64  `json:"drainBytes"`
+	DrainEnergyJ    float64 `json:"drainEnergyJ"`
+	DrainTimeS      float64 `json:"drainTimeS"`
+	VolumeMM3       float64 `json:"volumeMm3"`
+	AreaMM2         float64 `json:"areaMm2"`
+	AreaRatioToCore float64 `json:"areaRatioToCore"`
+	// FullBufferRatio is certified volume / full-buffer volume at
+	// fullEntries: 1.0 when the certificate cannot beat the structural
+	// capacity, below it when static analysis proves the buffers never
+	// fill.
+	FullBufferRatio float64 `json:"fullBufferRatio"`
+}
+
+// CertifiedBatterySizes computes the battery sizing for a certified
+// per-core line bound on both Table V platforms and both technologies,
+// against the full-buffer baseline at fullEntries (the paper's 32).
+func CertifiedBatterySizes(m CostModel, perCoreLines, fullEntries int) []CertifiedBatteryRow {
+	var rows []CertifiedBatteryRow
+	for _, p := range Platforms() {
+		bytes := m.CertifiedBBBDrainBytes(p, perCoreLines)
+		energyJ := float64(bytes) * m.perByteEnergyJ(m.L1ToNVMMNJPerByte)
+		timeS := float64(bytes) / (float64(p.Channels) * m.ChannelWriteBW)
+		fullJ := m.BBBDrainEnergyJ(p, fullEntries)
+		for _, tech := range []BatteryTech{SuperCap(), LiThin()} {
+			vol := m.BatteryVolumeMM3(energyJ, tech)
+			area := FootprintAreaMM2(vol)
+			rows = append(rows, CertifiedBatteryRow{
+				Platform:        p.Name,
+				Tech:            tech.Name,
+				PerCoreLines:    perCoreLines,
+				DrainBytes:      bytes,
+				DrainEnergyJ:    energyJ,
+				DrainTimeS:      timeS,
+				VolumeMM3:       vol,
+				AreaMM2:         area,
+				AreaRatioToCore: p.AreaRatioToCore(area),
+				FullBufferRatio: vol / m.BatteryVolumeMM3(fullJ, tech),
+			})
+		}
+	}
+	return rows
+}

@@ -1,0 +1,38 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCertifiedReducesToFullBuffer pins the boundary: a certified bound
+// equal to the bbPB capacity reproduces the Table IX full-buffer sizing
+// exactly (ratio 1), and a tighter bound shrinks the battery linearly.
+func TestCertifiedReducesToFullBuffer(t *testing.T) {
+	m := DefaultCostModel()
+	const entries = 32
+	rows := CertifiedBatterySizes(m, entries, entries)
+	if len(rows) != 4 { // 2 platforms × 2 technologies
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if math.Abs(r.FullBufferRatio-1) > 1e-12 {
+			t.Errorf("%s/%s: full-capacity certificate ratio = %g, want 1", r.Platform, r.Tech, r.FullBufferRatio)
+		}
+	}
+	for _, p := range Platforms() {
+		if got, want := m.CertifiedBBBDrainBytes(p, entries), m.BBBDrainBytes(p, entries); got != want {
+			t.Errorf("%s: certified bytes %d != full-buffer bytes %d", p.Name, got, want)
+		}
+	}
+
+	half := CertifiedBatterySizes(m, entries/2, entries)
+	for i, r := range half {
+		if math.Abs(r.FullBufferRatio-0.5) > 1e-12 {
+			t.Errorf("%s/%s: half-capacity ratio = %g, want 0.5", r.Platform, r.Tech, r.FullBufferRatio)
+		}
+		if r.DrainEnergyJ >= rows[i].DrainEnergyJ {
+			t.Errorf("%s/%s: tighter bound did not shrink drain energy", r.Platform, r.Tech)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package invariant
+
+import (
+	"fmt"
+
+	"bbb/internal/bbpb"
+)
+
+// CheckOccupancyBound audits a statically certified per-core persist-buffer
+// occupancy bound (a pressurelint SchemeBound.PerCoreLines) against live
+// buffers: a single live entry above the bound is a soundness violation of
+// the static analysis, not a tuning concern, so callers should treat an
+// error as a hard failure. Like Check, call it only between engine events.
+func CheckOccupancyBound(bufs []bbpb.PersistBuffer, perCore int) error {
+	for core, b := range bufs {
+		if b == nil {
+			continue
+		}
+		if occ := b.Occupancy(); occ > perCore {
+			return fmt.Errorf("bbPB[%d]: occupancy %d exceeds the certified per-core bound %d", core, occ, perCore)
+		}
+	}
+	return nil
+}

@@ -43,6 +43,41 @@ type Graph struct {
 	Entry  *Block
 	Exit   *Block
 	Blocks []*Block
+	// Loops records every for/range statement's structure, in source
+	// order, for clients that reason about back edges (pressurelint's
+	// loop-carry widening). Nesting is recoverable from Stmt positions.
+	Loops []*Loop
+}
+
+// A Loop is one for/range statement's skeleton in the graph.
+type Loop struct {
+	// Stmt is the *ast.ForStmt or *ast.RangeStmt.
+	Stmt ast.Stmt
+	// Head is the block holding the loop condition (or the RangeStmt
+	// node); every iteration passes through it.
+	Head *Block
+	// Target is the block a completed iteration jumps back to: Head
+	// itself, or the post-statement block of a three-clause for.
+	Target *Block
+	// After is the block control reaches when the loop exits normally.
+	After *Block
+}
+
+// BackSources returns the blocks whose edge into Target closes the loop —
+// the points where one iteration's dataflow fact is the next iteration's
+// input. Identified by block index: body blocks are created after Head, so
+// any predecessor of Target younger than Head reached it from inside the
+// loop. A goto jumping into the loop from later code is misclassified as a
+// back edge, which only over-approximates the carried set (the safe
+// direction for a may analysis).
+func (l *Loop) BackSources() []*Block {
+	var out []*Block
+	for _, p := range l.Target.Preds {
+		if p.Index > l.Head.Index || l.Target != l.Head {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // New builds the control-flow graph of body.
@@ -179,6 +214,7 @@ func (b *builder) stmt(s ast.Stmt) {
 		}
 		body := b.newBlock()
 		b.edge(head, body)
+		b.graph.Loops = append(b.graph.Loops, &Loop{Stmt: s, Head: head, Target: backTo, After: after})
 		b.frames = append(b.frames, &frame{label: label, breakTo: after, continueTo: backTo})
 		b.cur = body
 		b.stmt(s.Body)
@@ -200,6 +236,7 @@ func (b *builder) stmt(s ast.Stmt) {
 		b.edge(head, after) // range exhausted (possibly immediately)
 		body := b.newBlock()
 		b.edge(head, body)
+		b.graph.Loops = append(b.graph.Loops, &Loop{Stmt: s, Head: head, Target: head, After: after})
 		b.frames = append(b.frames, &frame{label: label, breakTo: after, continueTo: head})
 		b.cur = body
 		b.stmt(s.Body)

@@ -1,0 +1,140 @@
+package dataflow
+
+import "testing"
+
+// Adversarial control flow through the x-assignment lattice: labeled
+// jumps, gotos and nested selects must neither lose facts (an assignment
+// on some path must surface as maybe/set at the exit) nor diverge (every
+// Forward call here must reach its fixpoint).
+
+func TestLabeledContinueSkipsAssignment(t *testing.T) {
+	// continue outer jumps over the x assignment on the j==0 path, so the
+	// exit fact must be maybe, not set.
+	got := analyze(t, `func f(n int) {
+		var x int
+		_ = x
+	outer:
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if j == 0 {
+					continue outer
+				}
+				x = 1
+			}
+		}
+	}`)
+	if got.x != maybe {
+		t.Errorf("exit fact = %v, want maybe (assignment skipped on the continue path)", got.x)
+	}
+}
+
+func TestLabeledBreakAllPathsAssign(t *testing.T) {
+	// Every path that leaves the loops passes the assignment before the
+	// labeled break, but the loops may also run zero iterations: maybe.
+	got := analyze(t, `func f(n int) {
+		var x int
+		_ = x
+	outer:
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				x = 1
+				break outer
+			}
+		}
+	}`)
+	if got.x != maybe {
+		t.Errorf("exit fact = %v, want maybe (zero-iteration path exists)", got.x)
+	}
+}
+
+func TestGotoBackwardConverges(t *testing.T) {
+	// The backward goto forms a loop outside any for statement; the
+	// fixpoint must still terminate and the assignment on the looped path
+	// must survive the join.
+	got := analyze(t, `func f(c bool) {
+		var x int
+		_ = x
+	again:
+		if c {
+			x = 1
+			goto again
+		}
+	}`)
+	if got.x != maybe {
+		t.Errorf("exit fact = %v, want maybe", got.x)
+	}
+}
+
+func TestGotoForwardSkipsAssignment(t *testing.T) {
+	got := analyze(t, `func f(c bool) {
+		var x int
+		_ = x
+		if c {
+			goto done
+		}
+		x = 1
+	done:
+		println(x)
+	}`)
+	if got.x != maybe {
+		t.Errorf("exit fact = %v, want maybe (goto skips the assignment)", got.x)
+	}
+}
+
+func TestNestedSelectJoin(t *testing.T) {
+	// x is assigned in every arm of the nested select except the inner
+	// default: the exit join must be maybe.
+	got := analyze(t, `func f(a, b chan int) {
+		var x int
+		_ = x
+		select {
+		case <-a:
+			select {
+			case <-b:
+				x = 1
+			default:
+			}
+		case <-b:
+			x = 2
+		}
+	}`)
+	if got.x != maybe {
+		t.Errorf("exit fact = %v, want maybe", got.x)
+	}
+}
+
+func TestNestedSelectAllArmsAssign(t *testing.T) {
+	got := analyze(t, `func f(a, b chan int) {
+		var x int
+		_ = x
+		select {
+		case <-a:
+			select {
+			case <-b:
+				x = 1
+			default:
+				x = 2
+			}
+		case <-b:
+			x = 3
+		}
+	}`)
+	if got.x != set {
+		t.Errorf("exit fact = %v, want set (every arm assigns)", got.x)
+	}
+}
+
+func TestRangeOverIntLoop(t *testing.T) {
+	// Range-over-int may run zero times only when the operand is 0; the
+	// analysis is path-insensitive, so the loop body is optional: maybe.
+	got := analyze(t, `func f() {
+		var x int
+		_ = x
+		for range 4 {
+			x = 1
+		}
+	}`)
+	if got.x != maybe {
+		t.Errorf("exit fact = %v, want maybe (loop body optional to the analysis)", got.x)
+	}
+}

@@ -6,7 +6,8 @@ import (
 )
 
 // jsonDiagnostic is the stable machine-readable form of one finding.
-// Exactly these five keys, always all present, one object per line —
+// Exactly these five keys, always all present (plus "also" only when
+// several analyzers reported the identical finding), one object per line —
 // the contract `bbbvet -json` consumers (CI annotations, dashboards)
 // parse with a line-oriented reader.
 type jsonDiagnostic struct {
@@ -15,6 +16,10 @@ type jsonDiagnostic struct {
 	Analyzer string `json:"analyzer"`
 	Message  string `json:"message"`
 	Ignored  bool   `json:"ignored"`
+	// Also lists other analyzers that reported the identical finding;
+	// omitted when empty so existing line-oriented consumers are
+	// unaffected.
+	Also []string `json:"also,omitempty"`
 }
 
 // WriteJSON writes diags as JSON lines. Pass RunAll output to include
@@ -28,6 +33,7 @@ func WriteJSON(w io.Writer, diags []Diagnostic) error {
 			Analyzer: d.Analyzer,
 			Message:  d.Message,
 			Ignored:  d.Ignored,
+			Also:     d.Also,
 		}
 		if err := enc.Encode(jd); err != nil {
 			return err

@@ -1,0 +1,191 @@
+package pressurelint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"strconv"
+)
+
+// A Bound is an element of the pressure lattice: a line count, or ⊤
+// (statically unbounded). Arithmetic saturates at ⊤.
+type Bound struct {
+	Lines     int
+	Unbounded bool
+}
+
+// Inf is the ⊤ bound.
+func Inf() Bound { return Bound{Unbounded: true} }
+
+// Fin is a finite bound.
+func Fin(n int) Bound { return Bound{Lines: n} }
+
+// MarshalJSON renders the bound as its String form ("7" or "inf"), the
+// shape the -pressure-report and golden consumers read.
+func (b Bound) MarshalJSON() ([]byte, error) {
+	return json.Marshal(b.String())
+}
+
+// UnmarshalJSON accepts the String form.
+func (b *Bound) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	if s == "inf" {
+		*b = Inf()
+		return nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return fmt.Errorf("pressurelint: bad bound %q", s)
+	}
+	*b = Fin(n)
+	return nil
+}
+
+func (b Bound) String() string {
+	if b.Unbounded {
+		return "inf"
+	}
+	return fmt.Sprintf("%d", b.Lines)
+}
+
+// Add saturates at ⊤.
+func (b Bound) Add(o Bound) Bound {
+	if b.Unbounded || o.Unbounded {
+		return Inf()
+	}
+	return Fin(b.Lines + o.Lines)
+}
+
+// Max is the lattice join.
+func (b Bound) Max(o Bound) Bound {
+	if b.Unbounded || o.Unbounded {
+		return Inf()
+	}
+	if o.Lines > b.Lines {
+		return o
+	}
+	return b
+}
+
+// Less orders bounds with ⊤ greatest.
+func (b Bound) Less(o Bound) bool {
+	if b.Unbounded {
+		return false
+	}
+	if o.Unbounded {
+		return true
+	}
+	return b.Lines < o.Lines
+}
+
+// IsZero reports a vacuous bound.
+func (b Bound) IsZero() bool { return !b.Unbounded && b.Lines == 0 }
+
+// MulTrip multiplies a per-iteration carry by a loop trip count. An
+// unknown trip over a zero carry is still zero (the loop accumulates
+// nothing); an unknown trip over anything else is ⊤.
+func MulTrip(trip int, known bool, per Bound) Bound {
+	if per.IsZero() {
+		return Fin(0)
+	}
+	if !known || per.Unbounded {
+		return Inf()
+	}
+	return Fin(trip * per.Lines)
+}
+
+// Cap collapses a bound to a hardware capacity — the ⊤-with-coalescing-cap
+// widening: a buffer organization can never hold more than its entry count,
+// so even a statically unbounded demand is served by at most cap entries.
+func (b Bound) Cap(cap int) int {
+	if b.Unbounded || b.Lines > cap {
+		return cap
+	}
+	return b.Lines
+}
+
+// A Certificate is one program unit's static persist-pressure bound, the
+// scheme-independent half: per-thread peaks under the strict (barriers
+// take effect) and relaxed (nothing the program does drains the buffers)
+// disciplines. ForScheme projects it onto a scheme's buffer organization.
+type Certificate struct {
+	// Unit names the program: the workload receiver type for the FuncLits
+	// inside a Programs method, else the function name.
+	Unit string `json:"unit"`
+	// Pos anchors the unit.
+	Pos token.Position `json:"pos"`
+	// StrictLines bounds the simultaneously non-durable lines one thread
+	// holds when every flush/fence/barrier takes effect — the PMEM
+	// baseline's at-risk set (dirty cache lines a crash loses).
+	StrictLines Bound `json:"strictLines"`
+	// RelaxedLines bounds one thread's demand on a draining persist
+	// buffer when no program action clears lines (BBB/BEP): finite only
+	// when the program touches finitely many distinct lines.
+	RelaxedLines Bound `json:"relaxedLines"`
+	// Witness is the file:line of the program point attaining the strict
+	// peak.
+	Witness string `json:"witness"`
+	// Findings explains every ⊤ above: the unbounded loop or recursive
+	// helper that widened the bound. A certificate with an unbounded
+	// component and no finding is a bug in the analysis.
+	Findings []string `json:"findings,omitempty"`
+}
+
+// Caps is the hardware capacity configuration certificates are projected
+// against. Defaults mirror the paper's (and the simulator's) defaults.
+type Caps struct {
+	BBPBEntries int // per-core bbPB entries (bbpb.DefaultConfig)
+	VPBEntries  int // per-core BEP volatile persist buffer entries
+	WPQEntries  int // memory-controller write-pending queue depth
+}
+
+// DefaultCaps matches bbpb.DefaultConfig and memctrl.DefaultNVMM.
+func DefaultCaps() Caps { return Caps{BBPBEntries: 32, VPBEntries: 32, WPQEntries: 32} }
+
+// A SchemeBound is a certificate projected onto one scheme's persistence
+// domain: what the battery (or ADR) must be sized to drain, and what a
+// crash can still lose.
+type SchemeBound struct {
+	Scheme string `json:"scheme"`
+	// PerCoreLines is the certified per-core persist-buffer occupancy
+	// bound (0 for schemes without a program-visible buffer).
+	PerCoreLines int `json:"perCoreLines"`
+	// MaxDirtyLines is the whole-machine persistence-domain bound: the
+	// lines flush-on-fail must drain in the worst case. Always finite —
+	// hardware capacities cap it (the ⊤-with-coalescing-cap widening).
+	MaxDirtyLines int    `json:"maxDirtyLines"`
+	MaxDirtyBytes uint64 `json:"maxDirtyBytes"`
+	// AtRiskLines bounds the lines visible to other cores but outside
+	// the persistence domain at any instant — what a crash loses (PMEM
+	// dirty cache lines, BEP volatile-buffer entries). May be ⊤ when the
+	// program's strict discipline doesn't bound it.
+	AtRiskLines Bound `json:"atRiskLines"`
+}
+
+// ForScheme projects the certificate onto one scheme for a thread count,
+// following the paper's domain composition: bbPB entries for BBB/BBBProc,
+// WPQ+VPB for BEP, WPQ alone for PMEM, and zero program-attributable lines
+// for eADR/NVCache (their domain is the whole cache — a hardware constant,
+// not a program property). lineBytes is the drained block size (64).
+func (c Certificate) ForScheme(scheme string, threads int, caps Caps, lineBytes int) SchemeBound {
+	sb := SchemeBound{Scheme: scheme}
+	switch scheme {
+	case "bbb", "bbb-proc":
+		sb.PerCoreLines = c.RelaxedLines.Cap(caps.BBPBEntries)
+		sb.MaxDirtyLines = caps.WPQEntries + threads*sb.PerCoreLines
+	case "bep":
+		sb.PerCoreLines = c.RelaxedLines.Cap(caps.VPBEntries)
+		sb.MaxDirtyLines = caps.WPQEntries + threads*sb.PerCoreLines
+		sb.AtRiskLines = Fin(threads * sb.PerCoreLines)
+	case "pmem":
+		sb.MaxDirtyLines = caps.WPQEntries
+		sb.AtRiskLines = MulTrip(threads, true, c.StrictLines)
+	default: // eadr, nvcache: commit is the durability point
+		sb.MaxDirtyLines = caps.WPQEntries
+	}
+	sb.MaxDirtyBytes = uint64(sb.MaxDirtyLines) * uint64(lineBytes)
+	return sb
+}

@@ -1,0 +1,96 @@
+package conform
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bbb/internal/vet/pressurelint"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/pressure_bounds.json")
+
+// TestPressureConform is the soundness gate: every Table IV workload ×
+// scheme pair's observed occupancy and crash-pending sets must fit the
+// static certificates. Any exceedance fails with a minimized witness.
+func TestPressureConform(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulator replay matrix; run without -short (make pressure-short)")
+	}
+	rep, err := Run(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 7 * 6; len(rep.Pairs) != want {
+		t.Fatalf("got %d pairs, want %d (Table IV × schemes)", len(rep.Pairs), want)
+	}
+	for _, pr := range rep.Pairs {
+		if pr.Bound.MaxDirtyLines <= 0 {
+			t.Errorf("%s × %s: non-positive MaxDirtyLines %d", pr.Workload, pr.Scheme, pr.Bound.MaxDirtyLines)
+		}
+	}
+}
+
+// TestPressureBoundsGolden pins the static certificates (and their
+// per-scheme projections at the default capacities) against the checked-in
+// golden. Regenerate with `go test ./internal/vet/pressurelint/conform
+// -run Golden -update`.
+func TestPressureBoundsGolden(t *testing.T) {
+	certs, err := Certificates("../../../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type entry struct {
+		Unit     string                    `json:"unit"`
+		Strict   string                    `json:"strict"`
+		Relaxed  string                    `json:"relaxed"`
+		Witness  string                    `json:"witness"`
+		Findings []string                  `json:"findings,omitempty"`
+		Schemes  map[string]map[string]any `json:"schemes"`
+	}
+	var entries []entry
+	for _, c := range certs {
+		e := entry{
+			Unit:     c.Unit,
+			Strict:   c.StrictLines.String(),
+			Relaxed:  c.RelaxedLines.String(),
+			Witness:  c.Witness,
+			Findings: c.Findings,
+			Schemes:  map[string]map[string]any{},
+		}
+		for _, s := range []string{"pmem", "eadr", "bbb", "bbb-proc", "bep", "nvcache"} {
+			sb := c.ForScheme(s, 2, pressurelint.DefaultCaps(), 64)
+			e.Schemes[s] = map[string]any{
+				"perCoreLines":  sb.PerCoreLines,
+				"maxDirtyLines": sb.MaxDirtyLines,
+				"maxDirtyBytes": sb.MaxDirtyBytes,
+				"atRiskLines":   sb.AtRiskLines.String(),
+			}
+		}
+		entries = append(entries, e)
+	}
+	got, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "pressure_bounds.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("certified bounds drifted from %s (regenerate with -update if intended)\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+}

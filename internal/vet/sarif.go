@@ -1,0 +1,145 @@
+package vet
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// This file emits findings in SARIF 2.1.0, the interchange format GitHub
+// code scanning and most analysis dashboards ingest. One run per
+// invocation, one rule per analyzer, one result per diagnostic; findings
+// suppressed by //bbbvet:ignore directives are kept as results carrying a
+// suppression object ("inSource"), matching how SARIF models acknowledged
+// findings. Paths are emitted relative to root (when given) with forward
+// slashes, so the log is machine-independent and uploadable from CI.
+
+const (
+	sarifVersion = "2.1.0"
+	sarifSchema  = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	Level        string             `json:"level"`
+	Message      sarifMessage       `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+type sarifSuppression struct {
+	Kind string `json:"kind"`
+}
+
+// WriteSARIF writes diags as a SARIF 2.1.0 log. analyzers become the
+// driver's rule table (every analyzer, not just the ones that fired, so
+// the rule metadata is stable across runs); root, when non-empty, is
+// stripped from result paths. Pass RunAll output to include suppressed
+// findings — they carry an inSource suppression rather than being
+// dropped, which is how SARIF consumers distinguish "acknowledged" from
+// "absent".
+func WriteSARIF(w io.Writer, diags []Diagnostic, analyzers []*Analyzer, root string) error {
+	driver := sarifDriver{Name: "bbbvet", Rules: []sarifRule{}}
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: doc},
+		})
+	}
+
+	results := []sarifResult{}
+	for _, d := range diags {
+		msg := d.Message
+		if len(d.Also) > 0 {
+			msg += " (also reported by " + strings.Join(d.Also, ", ") + ")"
+		}
+		r := sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "warning",
+			Message: sarifMessage{Text: msg},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: sarifURI(d.Pos.Filename, root)},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		}
+		if d.Ignored {
+			r.Suppressions = []sarifSuppression{{Kind: "inSource"}}
+		}
+		results = append(results, r)
+	}
+
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// sarifURI renders a diagnostic path relative to root with the forward
+// slashes SARIF requires.
+func sarifURI(path, root string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+			path = rel
+		}
+	}
+	return filepath.ToSlash(path)
+}

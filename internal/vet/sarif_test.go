@@ -1,0 +1,177 @@
+package vet
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"testing"
+)
+
+// TestSARIFRoundTrip re-parses the emitted log with a generic decoder and
+// checks the structural contract consumers rely on: schema/version, one
+// run, a rule per analyzer, one result per diagnostic with the right
+// rule binding, location and suppression status.
+func TestSARIFRoundTrip(t *testing.T) {
+	analyzers := []*Analyzer{
+		{Name: "locklint", Doc: "finds unguarded state\n\nlong form"},
+		{Name: "detlint", Doc: "finds nondeterminism"},
+	}
+	diags := []Diagnostic{
+		{
+			Analyzer: "locklint",
+			Pos:      token.Position{Filename: "/src/repo/internal/cache/cache.go", Line: 42, Column: 7},
+			Message:  "lineLock state touched outside scope",
+		},
+		{
+			Analyzer: "detlint",
+			Pos:      token.Position{Filename: "/src/repo/internal/engine/engine.go", Line: 9, Column: 2},
+			Message:  "wall-clock read in simulator package",
+			Ignored:  true,
+		},
+		{
+			Analyzer: "locklint",
+			Pos:      token.Position{Filename: "/src/repo/internal/cache/cache.go", Line: 50, Column: 1},
+			Message:  "shared finding",
+			Also:     []string{"detlint"},
+		},
+	}
+
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, diags, analyzers, "/src/repo"); err != nil {
+		t.Fatal(err)
+	}
+
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+				Suppressions []struct {
+					Kind string `json:"kind"`
+				} `json:"suppressions"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("emitted SARIF does not re-parse: %v", err)
+	}
+
+	if log.Version != "2.1.0" || log.Schema == "" {
+		t.Errorf("version=%q schema=%q", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "bbbvet" {
+		t.Errorf("driver name %q", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != len(analyzers) {
+		t.Fatalf("got %d rules, want %d", len(run.Tool.Driver.Rules), len(analyzers))
+	}
+	if got := run.Tool.Driver.Rules[0].ShortDescription.Text; got != "finds unguarded state" {
+		t.Errorf("rule doc not truncated to first line: %q", got)
+	}
+	if len(run.Results) != len(diags) {
+		t.Fatalf("got %d results, want %d", len(run.Results), len(diags))
+	}
+
+	first := run.Results[0]
+	if first.RuleID != "locklint" || first.Level != "warning" {
+		t.Errorf("result 0: ruleId=%q level=%q", first.RuleID, first.Level)
+	}
+	loc := first.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/cache/cache.go" {
+		t.Errorf("path not made root-relative: %q", loc.ArtifactLocation.URI)
+	}
+	if loc.Region.StartLine != 42 {
+		t.Errorf("startLine = %d", loc.Region.StartLine)
+	}
+	if len(first.Suppressions) != 0 {
+		t.Error("unsuppressed finding carries suppressions")
+	}
+
+	second := run.Results[1]
+	if len(second.Suppressions) != 1 || second.Suppressions[0].Kind != "inSource" {
+		t.Errorf("ignored finding suppressions = %+v", second.Suppressions)
+	}
+
+	third := run.Results[2]
+	if want := "shared finding (also reported by detlint)"; third.Message.Text != want {
+		t.Errorf("deduped message = %q, want %q", third.Message.Text, want)
+	}
+}
+
+// TestSARIFEmpty pins that a clean run still produces a valid log with
+// empty (not null) results, which strict consumers require.
+func TestSARIFEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, nil, []*Analyzer{{Name: "locklint", Doc: "d"}}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`"results": null`)) {
+		t.Error("results serialized as null, want []")
+	}
+	var generic map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &generic); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDedupe pins the RunAll duplicate-folding contract: identical
+// file/line/message findings from different analyzers collapse into one
+// with Also recording the rest, and the merge is Ignored only when every
+// copy was suppressed.
+func TestDedupe(t *testing.T) {
+	pos := token.Position{Filename: "a.go", Line: 3}
+	got := dedupe([]Diagnostic{
+		{Analyzer: "locklint", Pos: pos, Message: "m"},
+		{Analyzer: "detlint", Pos: pos, Message: "m", Ignored: true},
+		{Analyzer: "detlint", Pos: pos, Message: "other"},
+		{Analyzer: "statlint", Pos: pos, Message: "m", Ignored: true},
+	})
+	if len(got) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %+v", len(got), got)
+	}
+	m := got[0]
+	if m.Analyzer != "locklint" || len(m.Also) != 2 || m.Also[0] != "detlint" || m.Also[1] != "statlint" {
+		t.Errorf("merged = %+v", m)
+	}
+	if m.Ignored {
+		t.Error("merge of one live + two ignored copies must stay live")
+	}
+
+	allIgnored := dedupe([]Diagnostic{
+		{Analyzer: "locklint", Pos: pos, Message: "m", Ignored: true},
+		{Analyzer: "detlint", Pos: pos, Message: "m", Ignored: true},
+	})
+	if len(allIgnored) != 1 || !allIgnored[0].Ignored {
+		t.Errorf("all-suppressed merge = %+v", allIgnored)
+	}
+}

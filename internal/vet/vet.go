@@ -70,6 +70,11 @@ type Diagnostic struct {
 	// Ignored marks a finding suppressed by a //bbbvet:ignore directive.
 	// Run drops these; RunAll returns them marked.
 	Ignored bool
+	// Also lists further analyzers that reported the identical finding
+	// (same file, line and message); RunAll folds such duplicates into one
+	// diagnostic so per-analyzer counts stay reconstructible without the
+	// user seeing the same message twice.
+	Also []string
 }
 
 func (d Diagnostic) String() string {
@@ -135,6 +140,7 @@ func RunAll(pkgs []*Package, fset *token.FileSet, analyzers []*Analyzer) ([]Diag
 		}
 	}
 	diags = append(diags, ig.malformed...)
+	diags = dedupe(diags)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -146,6 +152,49 @@ func RunAll(pkgs []*Package, fset *token.FileSet, analyzers []*Analyzer) ([]Diag
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
 	return diags, nil
+}
+
+// dedupe merges diagnostics several analyzers reported at the same file,
+// line and message into one, keeping the first analyzer as the owner and
+// recording the rest (sorted, unique) in Also. The merged diagnostic is
+// Ignored only when every contributing analyzer's copy was suppressed: an
+// ignore directive names one analyzer, so a duplicate from an unnamed
+// analyzer must keep the finding alive.
+func dedupe(diags []Diagnostic) []Diagnostic {
+	type key struct {
+		file string
+		line int
+		msg  string
+	}
+	at := make(map[key]int, len(diags))
+	out := diags[:0]
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line, d.Message}
+		i, seen := at[k]
+		if !seen {
+			at[k] = len(out)
+			out = append(out, d)
+			continue
+		}
+		m := &out[i]
+		if d.Analyzer != m.Analyzer {
+			dup := false
+			for _, a := range m.Also {
+				if a == d.Analyzer {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				m.Also = append(m.Also, d.Analyzer)
+			}
+		}
+		m.Ignored = m.Ignored && d.Ignored
+	}
+	for i := range out {
+		sort.Strings(out[i].Also)
+	}
+	return out
 }
 
 // ignoreIndex maps file → line → set of analyzer names suppressed there.
