@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race invariant fuzz-short mc-short litmus-short pressure-short trace-smoke check bench-json
+.PHONY: all build test vet race invariant fuzz-short mc-short litmus-short pressure-short trace-smoke ir-equiv check bench-json bench-profile
 
 all: check
 
@@ -34,10 +34,19 @@ invariant:
 # record them as the next BENCH_<n>.json. Non-gating; CI uploads the file
 # as an artifact so regressions are visible across PRs.
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkFig7aExecutionTime|BenchmarkEngineKernel|BenchmarkCrashMCEnumerate|BenchmarkAxiomaticEnumerate|BenchmarkTraceOverhead|BenchmarkPressureLint' \
-		-benchmem . ./internal/engine ./internal/crashmc ./internal/axiomatic ./internal/trace ./internal/vet/pressurelint \
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkIRThroughput|BenchmarkIRInterpreter|BenchmarkFig7aExecutionTime|BenchmarkEngineKernel|BenchmarkCrashMCEnumerate|BenchmarkAxiomaticEnumerate|BenchmarkTraceOverhead|BenchmarkPressureLint' \
+		-benchmem . ./internal/engine ./internal/ir ./internal/crashmc ./internal/axiomatic ./internal/trace ./internal/vet/pressurelint \
 		| $(GO) run ./cmd/benchjson > BENCH_$$(ls BENCH_*.json 2>/dev/null | wc -l).json
 	@ls BENCH_*.json | tail -1
+
+# Hot-path profiling: run the compiled-IR throughput benchmark under the CPU
+# and allocation profilers (bbbsim's -cpuprofile/-memprofile flags do the
+# same for arbitrary workload/scheme combinations). Inspect with
+# `go tool pprof bbb.test cpu.out`.
+bench-profile:
+	$(GO) test -run '^$$' -bench 'BenchmarkIRThroughput' -benchmem \
+		-cpuprofile cpu.out -memprofile mem.out .
+	@echo "profiles: cpu.out mem.out (binary: bbb.test)"
 
 # Observability smoke: drive the full cmd/bbbtrace pipeline end to end —
 # record the same run twice (streams must be byte-identical), filter by
@@ -83,5 +92,12 @@ pressure-short:
 litmus-short:
 	$(GO) run ./cmd/bbblitmus conform -points 6
 
+# Compiled-IR equivalence gate: the interpreter path must produce Results
+# byte-identical to the goroutine drivers across the full workload × scheme
+# × seed matrix (including crash-at-cycle images and parallel fan-out), and
+# every compiled twin's machine-op trace must match its cpu.Env twin.
+ir-equiv:
+	$(GO) test -count=1 -run 'TestIR' . ./internal/workload
+
 # Tier-1.5: everything above.
-check: build test vet race invariant mc-short litmus-short pressure-short trace-smoke
+check: build test vet race invariant mc-short litmus-short pressure-short trace-smoke ir-equiv

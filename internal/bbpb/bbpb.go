@@ -98,9 +98,53 @@ type Buffer struct {
 	eng     *engine.Engine
 	nvmm    *memctrl.Controller
 	entries []entry // FIFO allocation order for FCFS draining
-	seq     uint64  // last allocation sequence number handed out
+	// addrs mirrors entries' block addresses index-for-index. find is the
+	// hottest query in the persist path (every store probes the buffer), and
+	// scanning an 8-byte-stride address slice is far cheaper than striding
+	// the ~100-byte entry structs.
+	addrs   []memory.Addr
+	seq     uint64 // last allocation sequence number handed out
 	waiters []func()
 	stats   *stats.Counters
+
+	// Cached handles for the per-event counters; registration still happens
+	// at first increment, so counter listings are unchanged.
+	nCoalesced, nRejections, nAllocations, nMigratedOut stats.Lazy
+	nDrains, nDrainAfterMigration, nForcedDrains        stats.Lazy
+
+	drainFree *drainOp // pooled drain completions
+}
+
+// drainOp is a pooled WPQ-write completion for one in-flight drain,
+// replacing the per-drain capturing closure.
+type drainOp struct {
+	b     *Buffer
+	next  *drainOp
+	addr  memory.Addr
+	done  func()
+	runFn func()
+}
+
+func (b *Buffer) getDrainOp() *drainOp {
+	op := b.drainFree
+	if op == nil {
+		op = &drainOp{b: b}
+		op.runFn = func() {
+			buf := op.b
+			addr, done := op.addr, op.done
+			op.done = nil
+			op.next = buf.drainFree
+			buf.drainFree = op
+			buf.finishDrain(addr)
+			if done != nil {
+				done()
+			}
+		}
+		return op
+	}
+	b.drainFree = op.next
+	op.next = nil
+	return op
 }
 
 var _ PersistBuffer = (*Buffer)(nil)
@@ -111,15 +155,23 @@ func New(cfg Config, coreID int, eng *engine.Engine, nvmm *memctrl.Controller) *
 	if cfg.Entries <= 0 {
 		panic("bbpb: Entries must be positive")
 	}
-	return &Buffer{cfg: cfg, coreID: coreID, eng: eng, nvmm: nvmm, stats: stats.NewCounters()}
+	b := &Buffer{cfg: cfg, coreID: coreID, eng: eng, nvmm: nvmm, stats: stats.NewCounters()}
+	b.nCoalesced = b.stats.Lazy("bbpb.coalesced")
+	b.nRejections = b.stats.Lazy("bbpb.rejections")
+	b.nAllocations = b.stats.Lazy("bbpb.allocations")
+	b.nMigratedOut = b.stats.Lazy("bbpb.migrated_out")
+	b.nDrains = b.stats.Lazy("bbpb.drains")
+	b.nDrainAfterMigration = b.stats.Lazy("bbpb.drain_after_migration")
+	b.nForcedDrains = b.stats.Lazy("bbpb.forced_drains")
+	return b
 }
 
 // Counters returns the buffer's statistics counters.
 func (b *Buffer) Counters() *stats.Counters { return b.stats }
 
 func (b *Buffer) find(addr memory.Addr) int {
-	for i := range b.entries {
-		if b.entries[i].addr == addr {
+	for i, a := range b.addrs {
+		if a == addr {
 			return i
 		}
 	}
@@ -132,18 +184,19 @@ func (b *Buffer) find(addr memory.Addr) int {
 func (b *Buffer) Put(addr memory.Addr, data *[memory.LineSize]byte) bool {
 	if i := b.find(addr); i >= 0 && !b.entries[i].draining {
 		b.entries[i].data = *data
-		b.stats.Inc("bbpb.coalesced")
+		b.nCoalesced.Inc()
 		b.eng.EmitTrace(trace.KindBufCoalesce, b.coreID, addr, uint64(len(b.entries)))
 		return true
 	}
 	if len(b.entries) >= b.cfg.Entries {
-		b.stats.Inc("bbpb.rejections")
+		b.nRejections.Inc()
 		b.eng.EmitTrace(trace.KindBufReject, b.coreID, addr, uint64(len(b.entries)))
 		return false
 	}
 	b.seq++
 	b.entries = append(b.entries, entry{addr: addr, seq: b.seq, alloc: b.eng.Now(), data: *data})
-	b.stats.Inc("bbpb.allocations")
+	b.addrs = append(b.addrs, addr)
+	b.nAllocations.Inc()
 	b.eng.EmitTrace(trace.KindBufAlloc, b.coreID, addr, uint64(len(b.entries)))
 	b.eng.Metrics.Sample("bbpb.occupancy", uint64(b.eng.Now()), b.coreID, uint64(len(b.entries)))
 	b.maybeDrain()
@@ -170,13 +223,14 @@ func (b *Buffer) Remove(addr memory.Addr) ([memory.LineSize]byte, bool) {
 	}
 	data := b.entries[i].data
 	b.deleteAt(i)
-	b.stats.Inc("bbpb.migrated_out")
+	b.nMigratedOut.Inc()
 	b.eng.EmitTrace(trace.KindBufMigrate, b.coreID, addr, 0)
 	return data, true
 }
 
 func (b *Buffer) deleteAt(i int) {
 	b.entries = append(b.entries[:i], b.entries[i+1:]...)
+	b.addrs = append(b.addrs[:i], b.addrs[i+1:]...)
 	b.eng.Metrics.Sample("bbpb.occupancy", uint64(b.eng.Now()), b.coreID, uint64(len(b.entries)))
 	b.wakeOne()
 }
@@ -254,14 +308,11 @@ func (b *Buffer) oldestNotDraining() int {
 func (b *Buffer) startDrain(i int, done func()) {
 	b.entries[i].draining = true
 	addr, data := b.entries[i].addr, b.entries[i].data
-	b.stats.Inc("bbpb.drains")
+	b.nDrains.Inc()
 	b.eng.EmitTrace(trace.KindBufDrain, b.coreID, addr, uint64(len(b.entries)))
-	b.nvmm.Write(addr, data, func() {
-		b.finishDrain(addr)
-		if done != nil {
-			done()
-		}
-	})
+	op := b.getDrainOp()
+	op.addr, op.done = addr, done
+	b.nvmm.Write(addr, data, op.runFn)
 }
 
 func (b *Buffer) finishDrain(addr memory.Addr) {
@@ -274,7 +325,7 @@ func (b *Buffer) finishDrain(addr memory.Addr) {
 		}
 	}
 	// Entry migrated out while the drain was in flight; nothing to delete.
-	b.stats.Inc("bbpb.drain_after_migration")
+	b.nDrainAfterMigration.Inc()
 }
 
 // ForceDrain implements PersistBuffer.
@@ -291,7 +342,7 @@ func (b *Buffer) ForceDrain(addr memory.Addr, done func()) {
 		b.eng.Schedule(b.nvmm.Config().WPQAcceptLat, done)
 		return
 	}
-	b.stats.Inc("bbpb.forced_drains")
+	b.nForcedDrains.Inc()
 	b.eng.EmitTrace(trace.KindBufForcedDrain, b.coreID, addr, uint64(len(b.entries)))
 	b.startDrain(i, done)
 }
@@ -305,6 +356,7 @@ func (b *Buffer) CrashDrain(write func(memory.Addr, *[memory.LineSize]byte)) int
 		b.eng.EmitTrace(trace.KindCrashDrain, b.coreID, b.entries[i].addr, 0)
 	}
 	b.entries = b.entries[:0]
+	b.addrs = b.addrs[:0]
 	b.stats.Add("bbpb.crash_drained", uint64(n))
 	return n
 }

@@ -49,8 +49,28 @@ type Line struct {
 	Persistent bool
 	Data       [memory.LineSize]byte
 
+	// Directory state, meaningful only on L2/LLC lines: which cores' L1s
+	// hold the line, and which single core (if any) holds it E/M. Embedding
+	// the directory in the LLC line mirrors the usual inclusive-LLC design
+	// and keeps the hot coherence path free of a side map. Maintained by the
+	// coherence package under its per-line transaction lock; Fill resets it.
+	Sharers uint64
+	Owner   int // core holding E/M, or -1
+
 	lru uint64
 }
+
+// AddSharer records core c's L1 as holding this (L2) line.
+func (l *Line) AddSharer(c int) { l.Sharers |= 1 << uint(c) }
+
+// DropSharer removes core c from this (L2) line's sharer set.
+func (l *Line) DropSharer(c int) { l.Sharers &^= 1 << uint(c) }
+
+// IsSharer reports whether core c's L1 holds this (L2) line.
+func (l *Line) IsSharer(c int) bool { return l.Sharers&(1<<uint(c)) != 0 }
+
+// NoSharers reports whether no L1 holds this (L2) line.
+func (l *Line) NoSharers() bool { return l.Sharers == 0 }
 
 // Cache is a set-associative array. It is a passive structure: all timing
 // and protocol behaviour lives in the coherence package.
@@ -130,7 +150,7 @@ func (c *Cache) Probe(addr memory.Addr) *Line {
 	mustAligned(addr)
 	set := c.set(addr)
 	for i := range set {
-		if set[i].State != Invalid && set[i].Addr == addr {
+		if set[i].Addr == addr && set[i].State != Invalid {
 			return &set[i]
 		}
 	}
@@ -163,7 +183,7 @@ func (c *Cache) Fill(l *Line, addr memory.Addr, st State, data *[memory.LineSize
 		panic("cache: Fill with Invalid state")
 	}
 	c.lruClock++
-	*l = Line{Addr: addr, State: st, lru: c.lruClock}
+	*l = Line{Addr: addr, State: st, Owner: -1, lru: c.lruClock}
 	if data != nil {
 		l.Data = *data
 	}

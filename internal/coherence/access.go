@@ -4,11 +4,9 @@ import (
 	"encoding/binary"
 	"fmt"
 
-	"bbb/internal/trace"
-
 	"bbb/internal/cache"
-	"bbb/internal/engine"
 	"bbb/internal/memory"
+	"bbb/internal/trace"
 )
 
 // Load reads size bytes (1, 2, 4 or 8; not crossing a line) at addr on
@@ -16,16 +14,10 @@ import (
 // completes.
 func (h *Hierarchy) Load(core int, addr memory.Addr, size int, done func(val uint64)) {
 	checkAccess(addr, size)
-	la := memory.LineAddr(addr)
-	h.acquire(la, func(release func()) {
-		h.loadLocked(core, la, func(line *cache.Line, lat engine.Cycle) {
-			val := readValue(&line.Data, memory.LineOffset(addr), size)
-			h.eng.Schedule(lat, func() {
-				release()
-				done(val)
-			})
-		})
-	})
+	t := h.getTxn()
+	t.kind, t.core, t.addr, t.la, t.size = txnLoad, core, addr, memory.LineAddr(addr), size
+	t.doneVal = done
+	h.lockTxn(t)
 }
 
 // Store writes size bytes of val at addr on behalf of core, invoking done
@@ -33,53 +25,11 @@ func (h *Hierarchy) Load(core int, addr memory.Addr, size int, done func(val uin
 // the persist policy — the two happen together, which is the point of BBB).
 func (h *Hierarchy) Store(core int, addr memory.Addr, size int, val uint64, done func()) {
 	checkAccess(addr, size)
-	la := memory.LineAddr(addr)
-	persistent := h.layout.Persistent(la)
-
-	var attempt func(rejected bool)
-	attempt = func(rejected bool) {
-		// Reserve persist-buffer capacity before entering the coherence
-		// transaction so CommitStore cannot fail mid-protocol (§III-D
-		// invariant 1: stores enter the persistence domain in order).
-		if persistent && !h.policy.CanAcceptStore(core, la) {
-			if !rejected {
-				h.Stats.Inc("store.persist_rejected")
-			}
-			h.policy.OnSpace(core, func() { attempt(true) })
-			return
-		}
-		h.acquire(la, func(release func()) {
-			h.storeLocked(core, la, func(line *cache.Line, lat engine.Cycle) {
-				// The early reservation can be invalidated while the miss
-				// was outstanding (an LLC eviction may have force-drained
-				// the entry we meant to coalesce into), so re-check at the
-				// commit point, holding the line lock: the store stays
-				// invisible until it can also persist (§III-D invariant 3).
-				var commit func()
-				commit = func() {
-					if persistent && !h.policy.CanAcceptStore(core, la) {
-						h.Stats.Inc("store.persist_commit_waits")
-						h.policy.OnSpace(core, commit)
-						return
-					}
-					writeValue(&line.Data, memory.LineOffset(addr), size, val)
-					line.Dirty = true
-					line.Persistent = persistent
-					if persistent {
-						h.Stats.Inc("store.persisting")
-						h.eng.EmitTrace(trace.KindStoreCommit, core, la, val)
-						h.policy.CommitStore(core, la, &line.Data)
-					}
-					h.eng.Schedule(lat, func() {
-						release()
-						done()
-					})
-				}
-				commit()
-			})
-		})
-	}
-	attempt(false)
+	t := h.getTxn()
+	t.kind, t.core, t.addr, t.la, t.size, t.val = txnStore, core, addr, memory.LineAddr(addr), size, val
+	t.done = done
+	t.persistent = h.layout.Persistent(t.la)
+	h.admitStore(t)
 }
 
 // AtomicCAS performs a compare-and-swap of size bytes at addr on behalf of
@@ -92,55 +42,12 @@ func (h *Hierarchy) Store(core int, addr memory.Addr, size int, val uint64, done
 // discussion).
 func (h *Hierarchy) AtomicCAS(core int, addr memory.Addr, size int, old, new uint64, done func(prev uint64)) {
 	checkAccess(addr, size)
-	la := memory.LineAddr(addr)
-	persistent := h.layout.Persistent(la)
-
-	var attempt func(rejected bool)
-	attempt = func(rejected bool) {
-		if persistent && !h.policy.CanAcceptStore(core, la) {
-			if !rejected {
-				h.Stats.Inc("store.persist_rejected")
-			}
-			h.policy.OnSpace(core, func() { attempt(true) })
-			return
-		}
-		h.acquire(la, func(release func()) {
-			h.storeLocked(core, la, func(line *cache.Line, lat engine.Cycle) {
-				// Same commit-time re-check as Store: the reservation can
-				// go stale during an outstanding miss.
-				var commit func()
-				commit = func() {
-					if persistent && !h.policy.CanAcceptStore(core, la) {
-						h.Stats.Inc("store.persist_commit_waits")
-						h.policy.OnSpace(core, commit)
-						return
-					}
-					h.Stats.Inc("l1.atomics")
-					h.eng.EmitTrace(trace.KindAtomic, core, la, old)
-					prev := readValue(&line.Data, memory.LineOffset(addr), size)
-					if prev == old {
-						writeValue(&line.Data, memory.LineOffset(addr), size, new)
-						line.Dirty = true
-						line.Persistent = persistent
-						if persistent {
-							h.Stats.Inc("store.persisting")
-							// A successful persistent CAS is a persisting
-							// store commit; emit the commit event so
-							// durability provenance tracks it like any store.
-							h.eng.EmitTrace(trace.KindStoreCommit, core, la, new)
-							h.policy.CommitStore(core, la, &line.Data)
-						}
-					}
-					h.eng.Schedule(lat+2, func() {
-						release()
-						done(prev)
-					})
-				}
-				commit()
-			})
-		})
-	}
-	attempt(false)
+	t := h.getTxn()
+	t.kind, t.core, t.addr, t.la, t.size = txnCAS, core, addr, memory.LineAddr(addr), size
+	t.old, t.val = old, new
+	t.doneVal = done
+	t.persistent = h.layout.Persistent(t.la)
+	h.admitStore(t)
 }
 
 // LineWritable reports whether core already holds addr's line in a state
@@ -148,7 +55,7 @@ func (h *Hierarchy) AtomicCAS(core int, addr memory.Addr, size int, old, new uin
 // on the line). A cheap peek used by relaxed store-buffer scheduling.
 func (h *Hierarchy) LineWritable(core int, addr memory.Addr) bool {
 	la := memory.LineAddr(addr)
-	if lk := h.locks[la]; lk != nil && lk.held {
+	if pg, bit := h.lockPageFor(la); pg.held&(1<<bit) != 0 {
 		return false
 	}
 	l := h.l1s[core].Probe(la)
@@ -161,146 +68,10 @@ func (h *Hierarchy) LineWritable(core int, addr memory.Addr) bool {
 // persistency are unaffected; only the miss latency moves off the commit
 // path. done is optional.
 func (h *Hierarchy) PrefetchExclusive(core int, addr memory.Addr, done func()) {
-	la := memory.LineAddr(addr)
-	h.acquire(la, func(release func()) {
-		h.Stats.Inc("l1.store_prefetches")
-		h.storeLocked(core, la, func(_ *cache.Line, lat engine.Cycle) {
-			h.eng.Schedule(lat, func() {
-				release()
-				if done != nil {
-					done()
-				}
-			})
-		})
-	})
-}
-
-// loadLocked implements the read path with la's lock held. ready is invoked
-// at the atomic mutation point with the L1 line and the latency to charge.
-//
-//bbbvet:locked lineLock
-func (h *Hierarchy) loadLocked(core int, la memory.Addr, ready func(*cache.Line, engine.Cycle)) {
-	l1 := h.l1s[core]
-	if line := l1.Lookup(la); line != nil {
-		h.Stats.Inc("l1.load_hits")
-		ready(line, h.cfg.L1Lat)
-		return
-	}
-	h.Stats.Inc("l1.load_misses")
-	h.l2Fetch(core, la, func(data *[memory.LineSize]byte, shared bool, extra engine.Cycle) {
-		st := cache.Exclusive
-		if shared {
-			st = cache.Shared
-		}
-		line := h.l1Install(core, la, st, data)
-		d := h.dirOf(la)
-		d.addSharer(core)
-		if st == cache.Exclusive {
-			d.owner = core
-		}
-		ready(line, h.cfg.L1Lat+extra)
-	})
-}
-
-// storeLocked implements the write path with la's lock held: obtain the line
-// in M state in core's L1, then hand it to ready.
-//
-//bbbvet:locked lineLock
-func (h *Hierarchy) storeLocked(core int, la memory.Addr, ready func(*cache.Line, engine.Cycle)) {
-	l1 := h.l1s[core]
-	line := l1.Lookup(la)
-	switch {
-	case line != nil && (line.State == cache.Modified || line.State == cache.Exclusive):
-		h.Stats.Inc("l1.store_hits")
-		line.State = cache.Modified
-		h.dirOf(la).owner = core
-		ready(line, h.cfg.L1Lat)
-
-	case line != nil && line.State == cache.Shared:
-		// Upgrade: invalidate the other sharers through the directory.
-		h.Stats.Inc("l1.store_upgrades")
-		n := h.invalidateOthers(core, la)
-		d := h.dirOf(la)
-		d.owner = core
-		line.State = cache.Modified
-		lat := h.cfg.L1Lat + h.cfg.L2Lat
-		if n > 0 {
-			lat += h.cfg.RemoteLat
-		}
-		ready(line, lat)
-
-	default:
-		h.Stats.Inc("l1.store_misses")
-		h.l2FetchExclusive(core, la, func(data *[memory.LineSize]byte, extra engine.Cycle) {
-			line := h.l1Install(core, la, cache.Modified, data)
-			d := h.dirOf(la)
-			d.addSharer(core)
-			d.owner = core
-			ready(line, h.cfg.L1Lat+extra)
-		})
-	}
-}
-
-// l2Fetch obtains la's data for a read by core. shared reports whether other
-// L1s retain copies (S grant) or none do (E grant). The L2 line is installed
-// if missing. Runs ready at the mutation point.
-//
-//bbbvet:locked lineLock
-func (h *Hierarchy) l2Fetch(core int, la memory.Addr, ready func(data *[memory.LineSize]byte, shared bool, extra engine.Cycle)) {
-	if l2line := h.l2.Lookup(la); l2line != nil {
-		h.Stats.Inc("l2.hits")
-		d := h.dirOf(la)
-		extra := h.cfg.L2Lat
-		if d.owner >= 0 && d.owner != core {
-			// Intervention: the owner may hold newer data (M). Downgrade
-			// M->S, merge the data into L2 and mark it dirty; per Fig. 6(c)
-			// no memory writeback happens here in any scheme — under BBB
-			// the bbPB entry simply stays where it is.
-			h.Stats.Inc("l1.interventions")
-			h.eng.EmitTrace(trace.KindIntervene, d.owner, la, uint64(core))
-			oline := h.l1s[d.owner].Probe(la)
-			if oline == nil {
-				panic(fmt.Sprintf("coherence: directory owner %d lacks line %#x", d.owner, la))
-			}
-			if oline.State == cache.Modified {
-				l2line.Data = oline.Data
-				l2line.Dirty = true
-				l2line.Persistent = l2line.Persistent || oline.Persistent
-			}
-			oline.State = cache.Shared
-			oline.Dirty = false
-			d.owner = -1
-			extra += h.cfg.RemoteLat
-		}
-		if d.owner == core {
-			d.owner = -1 // self re-fetch after L1 eviction
-		}
-		ready(&l2line.Data, !d.none(), extra)
-		return
-	}
-	h.Stats.Inc("l2.misses")
-	h.memFill(core, la, func(l2line *cache.Line, extra engine.Cycle) {
-		ready(&l2line.Data, false, extra)
-	})
-}
-
-// l2FetchExclusive obtains la with all other copies invalidated, for a
-// write by core.
-func (h *Hierarchy) l2FetchExclusive(core int, la memory.Addr, ready func(data *[memory.LineSize]byte, extra engine.Cycle)) {
-	if l2line := h.l2.Lookup(la); l2line != nil {
-		h.Stats.Inc("l2.hits")
-		n := h.invalidateOthers(core, la)
-		extra := h.cfg.L2Lat
-		if n > 0 {
-			extra += h.cfg.RemoteLat
-		}
-		ready(&l2line.Data, extra)
-		return
-	}
-	h.Stats.Inc("l2.misses")
-	h.memFill(core, la, func(l2line *cache.Line, extra engine.Cycle) {
-		ready(&l2line.Data, extra)
-	})
+	t := h.getTxn()
+	t.kind, t.core, t.addr, t.la = txnPrefetch, core, addr, memory.LineAddr(addr)
+	t.done = done
+	h.lockTxn(t)
 }
 
 // invalidateOthers removes every L1 copy of la except core's, merging dirty
@@ -308,15 +79,10 @@ func (h *Hierarchy) l2FetchExclusive(core int, la memory.Addr, ready func(data *
 // the number of copies invalidated.
 //
 //bbbvet:locked lineLock
-func (h *Hierarchy) invalidateOthers(core int, la memory.Addr) int {
-	d := h.dirOf(la)
-	l2line := h.l2.Probe(la)
-	if l2line == nil {
-		panic(fmt.Sprintf("coherence: directory entry without L2 line %#x", la))
-	}
+func (h *Hierarchy) invalidateOthers(core int, la memory.Addr, l2line *cache.Line) int {
 	n := 0
 	for c := 0; c < h.cfg.Cores; c++ {
-		if c == core || !d.isSharer(c) {
+		if c == core || !l2line.IsSharer(c) {
 			continue
 		}
 		old, ok := h.l1s[c].Invalidate(la)
@@ -329,39 +95,15 @@ func (h *Hierarchy) invalidateOthers(core int, la memory.Addr) int {
 			l2line.Persistent = l2line.Persistent || old.Persistent
 		}
 		h.policy.OnRemoteInvalidate(c, la)
-		h.Stats.Inc("l1.invalidations")
+		h.nInvals.Inc()
 		h.eng.EmitTrace(trace.KindInvalidate, c, la, uint64(core))
-		d.dropSharer(c)
+		l2line.DropSharer(c)
 		n++
 	}
-	if d.owner >= 0 && d.owner != core {
-		d.owner = -1
+	if l2line.Owner >= 0 && l2line.Owner != core {
+		l2line.Owner = -1
 	}
 	return n
-}
-
-// memFill brings la from memory into the L2 (evicting a victim as needed)
-// and runs ready with the installed line. The extra latency covers the L2
-// lookup and the memory access. A concurrent fill to the same set can
-// consume the way freed before the read was issued, so eviction re-runs
-// until a way is actually free at install time.
-func (h *Hierarchy) memFill(core int, la memory.Addr, ready func(*cache.Line, engine.Cycle)) {
-	start := h.eng.Now()
-	h.evictL2VictimFor(la, func() {
-		h.controllerFor(la).Read(la, func(data [memory.LineSize]byte) {
-			h.evictL2VictimFor(la, func() {
-				victim := h.l2.Victim(la)
-				if victim.State != cache.Invalid {
-					panic(fmt.Sprintf("coherence: L2 victim for %#x not freed", la))
-				}
-				h.l2.Fill(victim, la, cache.Exclusive, &data)
-				victim.Persistent = h.layout.Persistent(la)
-				extra := h.cfg.L2Lat + (h.eng.Now() - start)
-				h.eng.Metrics.Observe("l2.miss_latency", uint64(extra))
-				ready(victim, extra)
-			})
-		})
-	})
 }
 
 // l1Install places la into core's L1, evicting a victim if needed (dirty L1
@@ -384,8 +126,7 @@ func (h *Hierarchy) l1Install(core int, la memory.Addr, st cache.State, data *[m
 //bbbvet:locked lineLock
 func (h *Hierarchy) evictL1Line(core int, victim *cache.Line) {
 	la := victim.Addr
-	h.Stats.Inc("l1.evictions")
-	d := h.dirOf(la)
+	h.nL1Evictions.Inc()
 	l2line := h.l2.Probe(la)
 	if l2line == nil {
 		panic(fmt.Sprintf("coherence: L1 line %#x missing from inclusive L2", la))
@@ -395,9 +136,9 @@ func (h *Hierarchy) evictL1Line(core int, victim *cache.Line) {
 		l2line.Dirty = true
 		l2line.Persistent = l2line.Persistent || victim.Persistent
 	}
-	d.dropSharer(core)
-	if d.owner == core {
-		d.owner = -1
+	l2line.DropSharer(core)
+	if l2line.Owner == core {
+		l2line.Owner = -1
 	}
 	victim.State = cache.Invalid
 }

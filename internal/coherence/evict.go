@@ -1,124 +1,15 @@
 package coherence
 
-import (
-	"fmt"
-
-	"bbb/internal/cache"
-	"bbb/internal/memory"
-	"bbb/internal/trace"
-)
-
-// evictL2VictimFor frees a way in la's L2 set, then runs cont. Freeing may
-// be asynchronous: the persistency policy can force-drain a bbPB entry
-// before the line may be dropped (§III-B dirty inclusion). Another in-flight
-// fill can consume a freed way meanwhile, so the victim is re-checked.
-func (h *Hierarchy) evictL2VictimFor(la memory.Addr, cont func()) {
-	victim := h.l2.Victim(la)
-	if victim.State == cache.Invalid {
-		cont()
-		return
-	}
-	h.evictL2Line(victim, func() { h.evictL2VictimFor(la, cont) })
-}
-
-// evictL2Line removes one valid L2 line: back-invalidate L1 copies (merging
-// dirty data), delete the directory entry, then let the persistency policy
-// decide between writeback and silent drop. cont runs once the way is free.
-// The caller's fill transaction serializes evictions; the victim itself has
-// no transaction in flight (it is resident, not being fetched).
-//
-//bbbvet:locked lineLock
-func (h *Hierarchy) evictL2Line(victim *cache.Line, cont func()) {
-	la := victim.Addr
-	h.Stats.Inc("l2.evictions")
-
-	// Back-invalidation (inclusion): pull in any fresher L1 data.
-	if d := h.dir[la]; d != nil {
-		for c := 0; c < h.cfg.Cores; c++ {
-			if !d.isSharer(c) {
-				continue
-			}
-			old, ok := h.l1s[c].Invalidate(la)
-			if !ok {
-				panic(fmt.Sprintf("coherence: sharer %d lacks line %#x on back-invalidation", c, la))
-			}
-			if old.State == cache.Modified && old.Dirty {
-				victim.Data = old.Data
-				victim.Dirty = true
-				victim.Persistent = victim.Persistent || old.Persistent
-			}
-			h.Stats.Inc("l1.back_invalidations")
-		}
-		delete(h.dir, la)
-	}
-
-	data := victim.Data
-	persistent := victim.Persistent
-	dirty := victim.Dirty
-	victim.State = cache.Invalid
-
-	h.policy.OnLLCEvict(la, persistent, dirty, func(writeBack bool) {
-		wb := uint64(0)
-		if writeBack {
-			wb = 1
-		}
-		h.eng.EmitTrace(trace.KindLLCEvict, -1, la, wb)
-		if writeBack {
-			h.Stats.Inc("l2.writebacks")
-			h.controllerFor(la).Write(la, data, nil)
-		} else if dirty {
-			h.Stats.Inc("l2.writebacks_skipped")
-		}
-		cont()
-	})
-}
+import "bbb/internal/memory"
 
 // Clwb writes back (without invalidating) the freshest copy of addr's line
 // to its memory controller, calling done when the write reaches the
 // controller's persist point (WPQ acceptance under ADR). This is the
 // cache-line writeback instruction the PMEM baseline pairs with a fence;
 // a clean or absent line completes after the lookup latency alone.
-//
-//bbbvet:locked lineLock
 func (h *Hierarchy) Clwb(core int, addr memory.Addr, done func()) {
-	la := memory.LineAddr(addr)
-	h.acquire(la, func(release func()) {
-		lat := h.cfg.L1Lat + h.cfg.L2Lat
-		var freshest *cache.Line
-		if d := h.dir[la]; d != nil && d.owner >= 0 {
-			freshest = h.l1s[d.owner].Probe(la)
-		}
-		l2line := h.l2.Probe(la)
-		if freshest == nil || !freshest.Dirty {
-			freshest = l2line
-		}
-		if freshest == nil || !freshest.Dirty {
-			h.Stats.Inc("clwb.clean")
-			h.eng.Schedule(lat, func() {
-				release()
-				done()
-			})
-			return
-		}
-		h.Stats.Inc("clwb.writebacks")
-		data := freshest.Data
-		// clwb retains the copy but leaves it clean everywhere.
-		if l2line != nil {
-			l2line.Dirty = false
-		}
-		for c := range h.l1s {
-			if l := h.l1s[c].Probe(la); l != nil {
-				l.Dirty = false
-				if l.State == cache.Modified && l2line != nil {
-					l2line.Data = data
-				}
-			}
-		}
-		h.eng.Schedule(lat, func() {
-			h.controllerFor(la).Write(la, data, func() {
-				release()
-				done()
-			})
-		})
-	})
+	t := h.getTxn()
+	t.kind, t.core, t.la = txnClwb, core, memory.LineAddr(addr)
+	t.done = done
+	h.lockTxn(t)
 }

@@ -39,35 +39,27 @@ func DefaultConfig() Config {
 	}
 }
 
-// dirEntry is the directory state for a line resident in the inclusive L2:
-// which L1s share it, and which single L1 (if any) may hold it E/M.
-type dirEntry struct {
-	sharers uint64 // bitmask over cores; bbbvet:guarded lineLock
-	owner   int    // core holding E/M, or -1; bbbvet:guarded lineLock
-}
+// The coherence directory — which L1s share a line, and which single L1 (if
+// any) may hold it E/M — lives directly in the inclusive L2's cache.Line
+// (Sharers/Owner fields), as in a real inclusive-LLC design: an entry exists
+// exactly while the line is resident, Fill resets it, and eviction discards
+// it with the line. Directory fields are mutated only under the line's
+// lineLock; quiescent walkers (snapshots, invariant checks) read them
+// between engine events.
 
-//bbbvet:locked lineLock
-func (d *dirEntry) addSharer(c int) { d.sharers |= 1 << uint(c) }
-
-//bbbvet:locked lineLock
-func (d *dirEntry) dropSharer(c int) { d.sharers &^= 1 << uint(c) }
-
-// isSharer is read-only and also safe from quiescent walkers.
-//
-//bbbvet:locked lineLock
-func (d *dirEntry) isSharer(c int) bool { return d.sharers&(1<<uint(c)) != 0 }
-
-// none is read-only and also safe from quiescent walkers.
-//
-//bbbvet:locked lineLock
-func (d *dirEntry) none() bool { return d.sharers == 0 }
-
-// lineLock serializes transactions per cache line. Transactions hold the
+// Line locks serialize transactions per cache line. Transactions hold the
 // lock from issue to completion, so state bound at the atomic mutation
 // points cannot be disturbed by a racing transaction on the same line.
-type lineLock struct {
-	held    bool
-	waiters []func()
+//
+// The locks of one page's 64 lines are two bitmaps in a lockPage: held
+// marks lines with a transaction in flight, waiting marks held lines with
+// queued transactions behind them. Keeping pages pointer-free and the map
+// page-granular (one entry per touched page, not per touched line) makes
+// the per-access lookup cheap and invisible to the garbage collector; the
+// waiter queues themselves live in a side map touched only on contention.
+type lockPage struct {
+	held    uint64
+	waiting uint64
 }
 
 // Hierarchy is the coherent two-level cache system in front of the memory
@@ -78,11 +70,27 @@ type Hierarchy struct {
 	layout memory.Layout
 	l1s    []*cache.Cache
 	l2     *cache.Cache
-	dir    map[memory.Addr]*dirEntry // bbbvet:guarded lineLock
-	locks  map[memory.Addr]*lineLock
-	dram   *memctrl.Controller
-	nvmm   *memctrl.Controller
-	policy PersistPolicy
+	locks  map[memory.Addr]*lockPage
+	// lockWaiters holds the FIFO queue of transactions blocked behind a
+	// held line lock, keyed by line address; an entry exists exactly while
+	// the line's waiting bit is set.
+	lockWaiters map[memory.Addr][]func()
+	// Last-page memo for lockPageFor; pages are never removed, so the memo
+	// cannot dangle.
+	lockLast     *lockPage
+	lockLastBase memory.Addr
+	dram         *memctrl.Controller
+	nvmm         *memctrl.Controller
+	policy       PersistPolicy
+
+	// txnFree is the freelist of pooled access transactions (txn.go).
+	txnFree *accessTxn
+
+	// Cached handles for the per-access counters; registration still
+	// happens at first increment, so counter listings are unchanged.
+	nLoadHits, nLoadMisses, nStoreHits, nStoreUpgrades, nStoreMisses stats.Lazy
+	nL2Hits, nL2Misses, nPersisting                                  stats.Lazy
+	nL1Evictions, nL2Evictions, nBackInvals, nInvals                 stats.Lazy
 
 	// Stats holds hierarchy counters (hits, misses, invalidations, ...).
 	Stats *stats.Counters
@@ -97,20 +105,32 @@ func New(cfg Config, eng *engine.Engine, layout memory.Layout, dram, nvmm *memct
 		panic("coherence: nil PersistPolicy")
 	}
 	h := &Hierarchy{
-		cfg:    cfg,
-		eng:    eng,
-		layout: layout,
-		l2:     cache.New("L2", cfg.L2Size, cfg.L2Ways),
-		dir:    make(map[memory.Addr]*dirEntry),
-		locks:  make(map[memory.Addr]*lineLock),
-		dram:   dram,
-		nvmm:   nvmm,
-		policy: policy,
-		Stats:  stats.NewCounters(),
+		cfg:         cfg,
+		eng:         eng,
+		layout:      layout,
+		l2:          cache.New("L2", cfg.L2Size, cfg.L2Ways),
+		locks:       make(map[memory.Addr]*lockPage),
+		lockWaiters: make(map[memory.Addr][]func()),
+		dram:        dram,
+		nvmm:        nvmm,
+		policy:      policy,
+		Stats:       stats.NewCounters(),
 	}
 	for i := 0; i < cfg.Cores; i++ {
 		h.l1s = append(h.l1s, cache.New(fmt.Sprintf("L1D%d", i), cfg.L1Size, cfg.L1Ways))
 	}
+	h.nLoadHits = h.Stats.Lazy("l1.load_hits")
+	h.nLoadMisses = h.Stats.Lazy("l1.load_misses")
+	h.nStoreHits = h.Stats.Lazy("l1.store_hits")
+	h.nStoreUpgrades = h.Stats.Lazy("l1.store_upgrades")
+	h.nStoreMisses = h.Stats.Lazy("l1.store_misses")
+	h.nL2Hits = h.Stats.Lazy("l2.hits")
+	h.nL2Misses = h.Stats.Lazy("l2.misses")
+	h.nPersisting = h.Stats.Lazy("store.persisting")
+	h.nL1Evictions = h.Stats.Lazy("l1.evictions")
+	h.nL2Evictions = h.Stats.Lazy("l2.evictions")
+	h.nBackInvals = h.Stats.Lazy("l1.back_invalidations")
+	h.nInvals = h.Stats.Lazy("l1.invalidations")
 	return h
 }
 
@@ -131,56 +151,68 @@ func (h *Hierarchy) controllerFor(addr memory.Addr) *memctrl.Controller {
 	return h.dram
 }
 
-// acquire runs fn with addr's line lock held; fn receives a release
-// callback it must invoke exactly once (possibly asynchronously).
-func (h *Hierarchy) acquire(addr memory.Addr, fn func(release func())) {
-	lk := h.locks[addr]
-	if lk == nil {
-		lk = &lineLock{}
-		h.locks[addr] = lk
+// lockPageFor returns la's lock page and its line's bit position, creating
+// the page on first touch.
+func (h *Hierarchy) lockPageFor(la memory.Addr) (*lockPage, uint) {
+	base := la &^ (memory.PageSize - 1)
+	pg := h.lockLast
+	if pg == nil || base != h.lockLastBase {
+		pg = h.locks[base]
+		if pg == nil {
+			pg = new(lockPage)
+			h.locks[base] = pg
+		}
+		h.lockLast, h.lockLastBase = pg, base
 	}
-	run := func() {
-		released := false
-		fn(func() {
-			if released {
-				panic("coherence: double release of line lock")
-			}
-			released = true
-			h.release(addr)
-		})
-	}
-	if lk.held {
-		lk.waiters = append(lk.waiters, run)
-		return
-	}
-	lk.held = true
-	run()
+	return pg, uint(la/memory.LineSize) % 64
 }
 
-func (h *Hierarchy) release(addr memory.Addr) {
-	lk := h.locks[addr]
-	if lk == nil || !lk.held {
-		panic("coherence: release of unheld line lock")
-	}
-	if len(lk.waiters) == 0 {
-		delete(h.locks, addr)
+// lockTxn runs t's locked dispatch with its line lock held, queueing it
+// behind any transaction already in flight on the line; finish releases the
+// lock exactly once when the transaction completes.
+func (h *Hierarchy) lockTxn(t *accessTxn) {
+	pg, bit := h.lockPageFor(t.la)
+	if pg.held&(1<<bit) != 0 {
+		pg.waiting |= 1 << bit
+		h.lockWaiters[t.la] = append(h.lockWaiters[t.la], t.lockedFn)
 		return
 	}
-	next := lk.waiters[0]
-	lk.waiters = lk.waiters[1:]
+	pg.held |= 1 << bit
+	h.locked(t)
+}
+
+// unlock releases la's line lock, handing it to the next queued transaction
+// if one is waiting (the held bit stays set across the handoff).
+func (h *Hierarchy) unlock(la memory.Addr) {
+	pg, bit := h.lockPageFor(la)
+	if pg.held&(1<<bit) == 0 {
+		panic("coherence: release of unheld line lock")
+	}
+	if pg.waiting&(1<<bit) == 0 {
+		pg.held &^= 1 << bit
+		return
+	}
+	ws := h.lockWaiters[la]
+	next := ws[0]
+	if len(ws) == 1 {
+		delete(h.lockWaiters, la)
+		pg.waiting &^= 1 << bit
+	} else {
+		ws[0] = nil
+		h.lockWaiters[la] = ws[1:]
+	}
 	// Run the next transaction in a fresh event so releases never recurse.
 	h.eng.Schedule(0, next)
 }
 
-// dirOf returns the directory entry for a line resident in L2, creating it
-// on first use. Lines absent from L2 must not have directory entries.
+// l2Line returns the L2 line holding addr, which carries the directory state
+// for the line. The caller must know the line is resident (inclusion).
 //
 //bbbvet:locked lineLock
-func (h *Hierarchy) dirOf(addr memory.Addr) *dirEntry {
-	d := h.dir[addr]
-	if d == nil {
-		d = &dirEntry{owner: -1}
-		h.dir[addr] = d
+func (h *Hierarchy) l2Line(addr memory.Addr) *cache.Line {
+	l := h.l2.Probe(addr)
+	if l == nil {
+		panic(fmt.Sprintf("coherence: L2 line %#x expected resident", addr))
 	}
-	return d
+	return l
 }

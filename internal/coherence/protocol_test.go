@@ -61,15 +61,19 @@ func TestPersistentBitPropagation(t *testing.T) {
 
 func TestDirectoryCleanedOnL2Eviction(t *testing.T) {
 	r := newRig(t, smallCfg(), nil) // 8 sets x 8 ways L2
-	// Fill one L2 set beyond capacity to force evictions, then verify the
-	// directory holds entries only for resident lines.
+	// Fill one L2 set beyond capacity to force evictions, then verify every
+	// L1-resident line is tracked by its (resident) L2 line's directory —
+	// back-invalidation must not leave orphaned L1 copies behind.
 	for i := uint64(0); i < 12; i++ {
 		r.store(t, int(i%4), r.nv(60+i*8), 8, i)
 	}
-	for la := range r.h.dir {
-		if r.h.l2.Probe(la) == nil {
-			t.Fatalf("directory entry %#x for non-resident line", la)
-		}
+	for c, l1 := range r.h.l1s {
+		l1.ForEach(func(l *cache.Line) {
+			d := r.h.l2.Probe(l.Addr)
+			if d == nil || !d.IsSharer(c) {
+				t.Fatalf("L1[%d] line %#x not tracked by a resident L2 directory entry", c, l.Addr)
+			}
+		})
 	}
 	r.check(t)
 }

@@ -18,8 +18,8 @@ func (h *Hierarchy) MergedLine(la memory.Addr) ([memory.LineSize]byte, bool) {
 	if l2line == nil {
 		return [memory.LineSize]byte{}, false
 	}
-	if d := h.dir[la]; d != nil && d.owner >= 0 {
-		if l := h.l1s[d.owner].Probe(la); l != nil && l.State == cache.Modified {
+	if l2line.Owner >= 0 {
+		if l := h.l1s[l2line.Owner].Probe(la); l != nil && l.State == cache.Modified {
 			return l.Data, true
 		}
 	}
@@ -38,8 +38,8 @@ func (h *Hierarchy) ForEachDirtyLine(fn func(la memory.Addr, persistent bool, da
 		data := l2line.Data
 		dirty := l2line.Dirty
 		persistent := l2line.Persistent
-		if d := h.dir[la]; d != nil && d.owner >= 0 {
-			if l := h.l1s[d.owner].Probe(la); l != nil && l.State == cache.Modified && l.Dirty {
+		if l2line.Owner >= 0 {
+			if l := h.l1s[l2line.Owner].Probe(la); l != nil && l.State == cache.Modified && l.Dirty {
 				data = l.Data
 				dirty = true
 				persistent = persistent || l.Persistent
@@ -76,9 +76,7 @@ func (h *Hierarchy) ViewLine(la memory.Addr) LineView {
 	v.L2Dirty = l2line.Dirty
 	v.L2Persistent = l2line.Persistent
 	v.DirtyAnywhere = l2line.Dirty
-	if d := h.dir[la]; d != nil {
-		v.Owner = d.owner
-	}
+	v.Owner = l2line.Owner
 	if v.Owner >= 0 {
 		if l := h.l1s[v.Owner].Probe(la); l != nil && l.Dirty {
 			v.DirtyAnywhere = true
@@ -114,29 +112,30 @@ func (h *Hierarchy) DirtyStats() (valid, dirty int) {
 //
 //bbbvet:quiescent invariant walks run between engine events
 func (h *Hierarchy) CheckInvariants() error {
-	// L1 inclusion in L2, and directory consistency.
+	// L1 inclusion in L2, and directory consistency. The directory lives in
+	// the L2 lines, so inclusion and entry existence are one check.
 	for c, l1 := range h.l1s {
 		var err error
 		l1.ForEach(func(l *cache.Line) {
 			if err != nil {
 				return
 			}
-			if h.l2.Probe(l.Addr) == nil {
+			d := h.l2.Probe(l.Addr)
+			if d == nil {
 				err = fmt.Errorf("L1[%d] line %#x not in inclusive L2", c, l.Addr)
 				return
 			}
-			d := h.dir[l.Addr]
-			if d == nil || !d.isSharer(c) {
+			if !d.IsSharer(c) {
 				err = fmt.Errorf("L1[%d] line %#x missing from directory sharers", c, l.Addr)
 				return
 			}
 			switch l.State {
 			case cache.Modified, cache.Exclusive:
-				if d.owner != c {
-					err = fmt.Errorf("L1[%d] line %#x is %v but directory owner is %d", c, l.Addr, l.State, d.owner)
+				if d.Owner != c {
+					err = fmt.Errorf("L1[%d] line %#x is %v but directory owner is %d", c, l.Addr, l.State, d.Owner)
 				}
 			case cache.Shared:
-				if d.owner == c {
+				if d.Owner == c {
 					err = fmt.Errorf("L1[%d] line %#x is S but directory names it owner", c, l.Addr)
 				}
 			}
@@ -147,34 +146,28 @@ func (h *Hierarchy) CheckInvariants() error {
 	}
 	// Directory entries point at real L1 lines; single-writer holds.
 	// Iterate in address order so the first violation reported for a given
-	// corrupted state is always the same one (map order is randomized).
-	las := make([]memory.Addr, 0, len(h.dir))
-	//bbbvet:ignore detlint key collection for sorting; order-insensitive
-	for la := range h.dir {
-		las = append(las, la)
-	}
+	// corrupted state is always the same one.
+	las := make([]memory.Addr, 0, 64)
+	h.l2.ForEach(func(l *cache.Line) { las = append(las, l.Addr) })
 	sort.Slice(las, func(i, j int) bool { return las[i] < las[j] })
 	for _, la := range las {
-		d := h.dir[la]
-		if h.l2.Probe(la) == nil {
-			return fmt.Errorf("directory entry %#x without L2 line", la)
-		}
-		if d.owner >= 0 {
-			l := h.l1s[d.owner].Probe(la)
+		d := h.l2.Probe(la)
+		if d.Owner >= 0 {
+			l := h.l1s[d.Owner].Probe(la)
 			if l == nil {
-				return fmt.Errorf("directory owner %d lacks line %#x", d.owner, la)
+				return fmt.Errorf("directory owner %d lacks line %#x", d.Owner, la)
 			}
 			if l.State != cache.Modified && l.State != cache.Exclusive {
-				return fmt.Errorf("directory owner %d holds %#x in %v", d.owner, la, l.State)
+				return fmt.Errorf("directory owner %d holds %#x in %v", d.Owner, la, l.State)
 			}
 		}
 		writers := 0
 		for c := 0; c < h.cfg.Cores; c++ {
 			l := h.l1s[c].Probe(la)
-			if d.isSharer(c) && l == nil {
+			if d.IsSharer(c) && l == nil {
 				return fmt.Errorf("directory sharer %d lacks line %#x", c, la)
 			}
-			if !d.isSharer(c) && l != nil {
+			if !d.IsSharer(c) && l != nil {
 				return fmt.Errorf("core %d holds line %#x unknown to directory", c, la)
 			}
 			if l != nil && l.State == cache.Modified {

@@ -1,0 +1,27 @@
+package cpu
+
+import (
+	"testing"
+
+	"bbb/internal/memory"
+)
+
+// TestPersistBarrierZeroAlloc pins the variadic fast path: under the
+// battery schemes PersistBarrier is free, and the cpu.PersistBarrier helper
+// must keep it allocation-free too — a plain Env.PersistBarrier(addrs...)
+// call through the interface forces the variadic backing array to escape,
+// which at one barrier per workload operation was a measurable slice of the
+// simulator's allocation pressure. The helper's concrete-type dispatch keeps
+// the array on the caller's stack; this test fails if that path ever decays
+// back to the escaping interface call.
+func TestPersistBarrierZeroAlloc(t *testing.T) {
+	r := newRig(t, 1, DefaultConfig()) // battery scheme: no ExplicitPersist, no EpochMode
+	e := &env{core: r.cores[0]}
+	a := r.nv(0)
+	avg := testing.AllocsPerRun(1000, func() {
+		PersistBarrier(e, a, a+memory.LineSize, a+2*memory.LineSize)
+	})
+	if avg != 0 {
+		t.Fatalf("PersistBarrier allocates %.1f objects per call on the battery fast path, want 0", avg)
+	}
+}

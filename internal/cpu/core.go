@@ -16,6 +16,7 @@ import (
 
 	"bbb/internal/coherence"
 	"bbb/internal/engine"
+	"bbb/internal/ir"
 	"bbb/internal/memory"
 	"bbb/internal/stats"
 	"bbb/internal/trace"
@@ -96,9 +97,9 @@ type Core struct {
 
 	sb          []sbEntry
 	sbDraining  bool
-	sbInFlight  sbEntry // the entry being drained, valid while sbDraining
-	sbDrainDone func()  // preallocated completion for the in-flight drain
-	sbWaiters   []func() // program stalled on a full SB or SB-empty condition
+	sbInFlight  sbEntry    // the entry being drained, valid while sbDraining
+	sbDrainDone func()     // preallocated completion for the in-flight drain
+	sbWaiters   []sbWaiter // program stalled on an SB occupancy condition
 
 	outstandingClwb int
 	fenceWaiter     func()
@@ -112,6 +113,27 @@ type Core struct {
 	reply0     func()
 	fetchFn    func()
 	fenceReply func()
+
+	// The program is synchronous, so at most one of each request kind can
+	// be stalled/in flight at a time; these preallocated retry closures and
+	// their pending-request slots replace the per-call closures the stall
+	// and completion paths used to allocate.
+	pendingStore      request
+	pendingStoreStart engine.Cycle
+	retryStoreFn      func()
+	pendingLoad       request
+	retryLoadFn       func()
+	pendingPersist    request
+	retryPersistFn    func()
+	pendingCAS        request
+	casFn             func()
+	epochFn           func()
+	clwbDone          func()
+
+	// interp drives a compiled program (StartCompiled) inline from the
+	// event kernel; nil for the goroutine path.
+	interp    *ir.Interp
+	interpAct ir.Action
 
 	done     bool
 	finished engine.Cycle
@@ -142,6 +164,25 @@ func New(id int, cfg Config, eng *engine.Engine, h *coherence.Hierarchy) *Core {
 	c.reply0 = func() { c.reply(0) }
 	c.fetchFn = c.fetch
 	c.fenceReply = func() { c.eng.Schedule(1, c.reply0) }
+	c.retryStoreFn = func() { c.acceptStore(c.pendingStore, c.pendingStoreStart) }
+	c.retryLoadFn = func() { c.issueLoad(c.pendingLoad) }
+	c.retryPersistFn = func() { c.issuePersist(c.pendingPersist) }
+	c.casFn = func() {
+		c.h.AtomicCAS(c.id, c.pendingCAS.addr, c.pendingCAS.size, c.pendingCAS.old, c.pendingCAS.val, c.replyVal)
+	}
+	c.epochFn = func() {
+		c.eng.EmitTrace(trace.KindEpochMark, c.id, 0, 0)
+		c.h.EpochBarrier(c.id)
+		c.reply(0)
+	}
+	c.clwbDone = func() {
+		c.outstandingClwb--
+		if c.outstandingClwb == 0 && c.fenceWaiter != nil {
+			fn := c.fenceWaiter
+			c.fenceWaiter = nil
+			fn()
+		}
+	}
 	// At most one SB drain is in flight (sbDraining), so a single
 	// preallocated completion closure serves every drain.
 	c.sbDrainDone = func() {
@@ -188,6 +229,47 @@ func (c *Core) Start(run func(Env)) {
 	c.eng.Schedule(0, c.fetchFn)
 }
 
+// StartCompiled schedules a compiled program on the core. The interpreter
+// runs inline from the event kernel — no goroutine, no channel rendezvous —
+// feeding the same handle() dispatch the goroutine path uses, so both paths
+// schedule identical events and produce byte-identical results.
+func (c *Core) StartCompiled(p *ir.Prog) {
+	c.interp = new(ir.Interp)
+	c.interp.Reset(p, ir.Config{
+		ExplicitPersist: c.cfg.ExplicitPersist,
+		EpochMode:       c.cfg.EpochMode,
+	})
+	c.eng.Schedule(0, c.fetchFn)
+}
+
+// stepCompiled advances the interpreter to its next machine action and
+// dispatches it; val resumes a pending load/CAS result, mirroring the
+// resume channel of the goroutine path.
+func (c *Core) stepCompiled(val uint64) {
+	a := &c.interpAct
+	c.interp.Next(val, a)
+	switch a.Kind {
+	case ir.ActionDone:
+		c.handle(request{kind: reqDone})
+	case ir.ActionLoad:
+		c.handle(request{kind: reqLoad, addr: a.Addr, size: a.Size})
+	case ir.ActionStore:
+		c.handle(request{kind: reqStore, addr: a.Addr, size: a.Size, val: a.Val})
+	case ir.ActionFlush:
+		c.handle(request{kind: reqPersist, addr: a.Addr})
+	case ir.ActionFence:
+		c.handle(request{kind: reqFence})
+	case ir.ActionEpoch:
+		c.handle(request{kind: reqEpoch})
+	case ir.ActionCompute:
+		c.handle(request{kind: reqCompute, cycles: a.Cycles})
+	case ir.ActionCAS:
+		c.handle(request{kind: reqCAS, addr: a.Addr, size: a.Size, old: a.Old, val: a.Val})
+	default:
+		panic(fmt.Sprintf("cpu: unknown compiled action %d", a.Kind))
+	}
+}
+
 // Stop abandons the workload goroutine; used at crash points and teardown.
 func (c *Core) Stop() {
 	select {
@@ -197,10 +279,17 @@ func (c *Core) Stop() {
 	}
 }
 
-// fetch blocks the event loop until the program's next request arrives.
-// The program goroutine is always either about to send a request or
-// finished, so this cannot deadlock.
+// fetch obtains the program's next request: compiled programs step the
+// inline interpreter; goroutine programs block the event loop until the
+// request arrives on the channel. The program goroutine is always either
+// about to send a request or finished, so this cannot deadlock.
 func (c *Core) fetch() {
+	if c.interp != nil {
+		// Only the initial scheduled fetch lands here; the interpreter has
+		// no pending value to resume, so the argument is ignored.
+		c.stepCompiled(0)
+		return
+	}
 	req := <-c.prog
 	c.handle(req)
 }
@@ -238,27 +327,28 @@ func (c *Core) handle(req request) {
 		c.Stats.Inc("core.atomics")
 		// Atomics act as a local fence: the store buffer drains first so
 		// the RMW observes and extends program order.
-		c.waitSBBelow(0, func() {
-			c.h.AtomicCAS(c.id, req.addr, req.size, req.old, req.val, c.replyVal)
-		})
+		c.pendingCAS = req
+		c.waitSBBelow(0, c.casFn)
 
 	case reqEpoch:
 		c.Stats.Inc("core.epoch_barriers")
 		// The boundary must order stores still in the SB into the earlier
 		// epoch, so it takes effect once the SB has drained past them.
-		c.waitSBBelow(0, func() {
-			c.eng.EmitTrace(trace.KindEpochMark, c.id, 0, 0)
-			c.h.EpochBarrier(c.id)
-			c.reply(0)
-		})
+		c.waitSBBelow(0, c.epochFn)
 
 	default:
 		panic(fmt.Sprintf("cpu: unknown request kind %d", req.kind))
 	}
 }
 
-// reply resumes the program with val and schedules the next fetch.
+// reply resumes the program with val and advances to its next request:
+// inline interpreter step for compiled programs, channel round trip plus
+// fetch for goroutine programs.
 func (c *Core) reply(val uint64) {
+	if c.interp != nil {
+		c.stepCompiled(val)
+		return
+	}
 	c.resume <- val
 	c.fetch()
 }
@@ -271,7 +361,8 @@ func (c *Core) reply(val uint64) {
 func (c *Core) acceptStore(req request, start engine.Cycle) {
 	if len(c.sb) >= c.cfg.SBEntries {
 		c.Stats.Inc("core.sb_full_stalls")
-		c.sbWaiters = append(c.sbWaiters, func() { c.acceptStore(req, start) })
+		c.pendingStore, c.pendingStoreStart = req, start
+		c.sbWaiters = append(c.sbWaiters, sbWaiter{n: -1, fn: c.retryStoreFn})
 		return
 	}
 	c.StallCycles += c.eng.Now() - start
@@ -329,13 +420,27 @@ func (c *Core) pickRelaxedDrain() int {
 	return 0
 }
 
+// sbWaiter is one parked continuation: fn runs once the SB has at most n
+// entries, or immediately on wake when n < 0 (the full-SB store retry,
+// which re-checks fullness itself). Storing (n, fn) instead of a wrapper
+// closure keeps the park/re-park cycle allocation-free — the fns are the
+// core's preallocated retry closures.
+type sbWaiter struct {
+	n  int
+	fn func()
+}
+
 func (c *Core) wakeSBWaiters() {
 	// Snapshot: a still-blocked waiter re-appends itself, so iterating the
 	// live slice would spin.
 	waiters := c.sbWaiters
-	c.sbWaiters = nil
-	for _, fn := range waiters {
-		fn()
+	c.sbWaiters = c.sbWaiters[len(c.sbWaiters):]
+	for _, w := range waiters {
+		if w.n < 0 {
+			w.fn()
+			continue
+		}
+		c.waitSBBelow(w.n, w.fn)
 	}
 }
 
@@ -354,7 +459,8 @@ func (c *Core) issueLoad(req request) {
 		}
 		if overlaps(e, req) {
 			c.Stats.Inc("core.sb_overlap_stalls")
-			c.waitSBBelow(i, func() { c.issueLoad(req) })
+			c.pendingLoad = req
+			c.waitSBBelow(i, c.retryLoadFn)
 			return
 		}
 	}
@@ -367,7 +473,7 @@ func (c *Core) waitSBBelow(n int, fn func()) {
 		c.eng.Schedule(0, fn)
 		return
 	}
-	c.sbWaiters = append(c.sbWaiters, func() { c.waitSBBelow(n, fn) })
+	c.sbWaiters = append(c.sbWaiters, sbWaiter{n: n, fn: fn})
 }
 
 func overlaps(e sbEntry, req request) bool {
@@ -385,19 +491,13 @@ func (c *Core) issuePersist(req request) {
 	la := memory.LineAddr(req.addr)
 	for i := len(c.sb) - 1; i >= 0; i-- {
 		if memory.LineAddr(c.sb[i].addr) == la {
-			c.waitSBBelow(i, func() { c.issuePersist(req) })
+			c.pendingPersist = req
+			c.waitSBBelow(i, c.retryPersistFn)
 			return
 		}
 	}
 	c.outstandingClwb++
-	c.h.Clwb(c.id, la, func() {
-		c.outstandingClwb--
-		if c.outstandingClwb == 0 && c.fenceWaiter != nil {
-			fn := c.fenceWaiter
-			c.fenceWaiter = nil
-			fn()
-		}
-	})
+	c.h.Clwb(c.id, la, c.clwbDone)
 	c.eng.Schedule(1, c.reply0)
 }
 

@@ -84,6 +84,10 @@ func (e *env) Store(addr memory.Addr, size int, val uint64) {
 }
 
 func (e *env) PersistBarrier(addrs ...memory.Addr) {
+	e.persistBarrier(addrs)
+}
+
+func (e *env) persistBarrier(addrs []memory.Addr) {
 	if e.core.cfg.EpochMode {
 		// One epoch-marker instruction, regardless of how many lines the
 		// operation touched.
@@ -134,3 +138,21 @@ func Load64(e Env, addr memory.Addr) uint64 { return e.Load(addr, 8) }
 
 // Store64 is a convenience for pointer-sized stores.
 func Store64(e Env, addr memory.Addr, val uint64) { e.Store(addr, 8, val) }
+
+// PersistBarrier issues e.PersistBarrier(addrs...) without the heap
+// allocation a variadic call through the interface forces: a variadic slice
+// passed to an interface method always escapes, so on the barrier-per-
+// operation hot path every Env.PersistBarrier call allocates. Calling
+// through the concrete type instead lets the addrs backing array stay on the
+// caller's stack. Non-package Env implementations (test recorders) take the
+// interface path, where the slice is copied so the caller's array still
+// does not escape.
+func PersistBarrier(e Env, addrs ...memory.Addr) {
+	if ev, ok := e.(*env); ok {
+		ev.persistBarrier(addrs)
+		return
+	}
+	heap := make([]memory.Addr, len(addrs))
+	copy(heap, addrs)
+	e.PersistBarrier(heap...)
+}

@@ -31,12 +31,12 @@ type Witness struct {
 	// witnesses).
 	SchemaVersion int    `json:"schema_version"`
 	Workload      string `json:"workload"`
-	Scheme       string `json:"scheme"`
-	NoBarriers   bool   `json:"no_barriers,omitempty"`
-	Threads      int    `json:"threads"`
-	OpsPerThread int    `json:"ops_per_thread"`
-	Seed         int64  `json:"seed"`
-	VolatileWork int    `json:"volatile_work,omitempty"`
+	Scheme        string `json:"scheme"`
+	NoBarriers    bool   `json:"no_barriers,omitempty"`
+	Threads       int    `json:"threads"`
+	OpsPerThread  int    `json:"ops_per_thread"`
+	Seed          int64  `json:"seed"`
+	VolatileWork  int    `json:"volatile_work,omitempty"`
 
 	L1Size         int     `json:"l1_size,omitempty"`
 	L2Size         int     `json:"l2_size,omitempty"`

@@ -15,6 +15,7 @@ package engine
 
 import (
 	"fmt"
+	"math/bits"
 
 	"bbb/internal/stats"
 	"bbb/internal/trace"
@@ -34,10 +35,65 @@ type event struct {
 	arg  uint64
 }
 
+// heapEntry is the pointer-free heap node: ordering key plus an index into
+// the event slab. Keeping the heap free of pointers makes every sift swap a
+// plain word copy — no GC write barriers, and nothing in the (frequently
+// shuffled) heap for the garbage collector to scan.
+type heapEntry struct {
+	when Cycle
+	seq  uint64
+	idx  int32
+}
+
+// wheelSize is the span of the timing wheel in cycles. Component latencies
+// are tens of cycles, so nearly every event lands in the wheel; only
+// far-future schedules (deep memory-channel queueing, coarse tickers) fall
+// through to the overflow heap.
+const (
+	wheelSize = 1024
+	wheelMask = wheelSize - 1
+)
+
+// bucket is one timing-wheel slot: a FIFO of events for a single cycle.
+// Because events earlier than now always drain before the window wraps, a
+// bucket never mixes cycles, and the globally monotonic seq means appends
+// arrive in seq order — so FIFO pop preserves (when, seq) order with no
+// sifting at all.
+type bucket struct {
+	evs  []event
+	head int
+}
+
 // Engine is the discrete-event scheduler. The zero value is not usable;
 // construct one with New.
+//
+// Events are kept in three structures, merged on pop by (when, seq):
+//
+//   - ring: events for the current cycle (delay 0) — plain FIFO.
+//   - wheel: events within wheelSize cycles — indexed by when&wheelMask.
+//   - pq: far-future overflow — a pointer-free binary heap over an event
+//     slab. Entries whose time drifts into the wheel window stay put; the
+//     pop-time merge keeps ordering exact.
+//
+// All three are allocation-free once grown to the run's high-water mark.
 type Engine struct {
-	pq      []event // binary min-heap ordered by (when, seq)
+	pq   []heapEntry // overflow min-heap ordered by (when, seq)
+	evs  []event     // slab of pending heap events, indexed by heapEntry.idx
+	free []int32     // recycled slab slots
+
+	wheel      []bucket
+	wheelCount int   // events resident in the wheel
+	wheelPos   Cycle // no wheel event is earlier than this cycle
+	// wheelBits is the wheel's occupancy bitmap, one bit per bucket, set on
+	// enqueue and cleared when a bucket fully drains. wheelHead hops empty
+	// gaps a 64-bucket word at a time instead of probing slot by slot.
+	wheelBits [wheelSize / 64]uint64
+
+	// ring holds same-cycle events (when == now at enqueue time). The ring
+	// must drain before the clock can advance — no queued event can order
+	// before a ring event — so ring entries always satisfy when == now.
+	ring    []event
+	head    int // ring read position
 	now     Cycle
 	seq     uint64
 	stopped bool
@@ -61,7 +117,7 @@ func (e *Engine) EmitTrace(kind trace.Kind, core int, addr, aux uint64) {
 
 // New returns an empty engine at cycle 0.
 func New() *Engine {
-	return &Engine{}
+	return &Engine{wheel: make([]bucket, wheelSize)}
 }
 
 // Now reports the current simulated cycle.
@@ -75,9 +131,21 @@ func (e *Engine) less(i, j int) bool {
 	return e.pq[i].seq < e.pq[j].seq
 }
 
-// push inserts ev, sifting it up to its heap position.
+// alloc stores ev in the slab and returns its slot.
+func (e *Engine) alloc(ev event) int32 {
+	if n := len(e.free); n > 0 {
+		i := e.free[n-1]
+		e.free = e.free[:n-1]
+		e.evs[i] = ev
+		return i
+	}
+	e.evs = append(e.evs, ev)
+	return int32(len(e.evs) - 1)
+}
+
+// push inserts ev, sifting its heap entry up to position.
 func (e *Engine) push(ev event) {
-	e.pq = append(e.pq, ev)
+	e.pq = append(e.pq, heapEntry{when: ev.when, seq: ev.seq, idx: e.alloc(ev)})
 	i := len(e.pq) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -89,13 +157,12 @@ func (e *Engine) push(ev event) {
 	}
 }
 
-// pop removes and returns the earliest event. The vacated tail slot is
+// pop removes and returns the earliest event. The vacated slab slot is
 // zeroed so the callback (and anything it captures) is released to the GC.
 func (e *Engine) pop() event {
 	top := e.pq[0]
 	n := len(e.pq) - 1
 	e.pq[0] = e.pq[n]
-	e.pq[n] = event{}
 	e.pq = e.pq[:n]
 	i := 0
 	for {
@@ -107,11 +174,83 @@ func (e *Engine) pop() event {
 			smallest = r
 		}
 		if smallest == i {
-			return top
+			break
 		}
 		e.pq[i], e.pq[smallest] = e.pq[smallest], e.pq[i]
 		i = smallest
 	}
+	// The vacated slab slot is left as-is (not zeroed): the callbacks it
+	// references are long-lived prebuilt closures, so retaining them until
+	// the slot is reused costs nothing and skips a GC write barrier here.
+	e.free = append(e.free, top.idx)
+	return e.evs[top.idx]
+}
+
+// enqueue routes an event to the same-cycle ring, the timing wheel, or the
+// overflow heap.
+func (e *Engine) enqueue(ev event) {
+	d := ev.when - e.now
+	if d == 0 {
+		e.ring = append(e.ring, ev)
+		return
+	}
+	if d < wheelSize {
+		slot := ev.when & wheelMask
+		b := &e.wheel[slot]
+		b.evs = append(b.evs, ev)
+		e.wheelBits[slot/64] |= 1 << (slot % 64)
+		if e.wheelCount == 0 || ev.when < e.wheelPos {
+			e.wheelPos = ev.when
+		}
+		e.wheelCount++
+		return
+	}
+	e.push(ev)
+}
+
+// wheelHead returns the earliest pending wheel event (without removing it),
+// advancing wheelPos past empty cycles via the occupancy bitmap: runs of
+// empty buckets cost one word test per 64 instead of a probe per slot.
+// Amortized O(1): wheelPos only moves forward between resets by nearer
+// enqueues.
+func (e *Engine) wheelHead() *event {
+	if e.wheelCount == 0 {
+		return nil
+	}
+	for {
+		slot := e.wheelPos & wheelMask
+		if w := e.wheelBits[slot/64] >> (slot % 64); w != 0 {
+			e.wheelPos += Cycle(bits.TrailingZeros64(w))
+			b := &e.wheel[e.wheelPos&wheelMask]
+			// A bucket never mixes cycles, but the scan can reach a bucket
+			// whose single resident cycle is a full lap ahead (inserted
+			// after the clock advanced); match the exact cycle before
+			// stopping.
+			if b.head < len(b.evs) && b.evs[b.head].when == e.wheelPos {
+				return &b.evs[b.head]
+			}
+			e.wheelPos++
+			continue
+		}
+		// Rest of this bitmap word is empty; hop to the next word boundary.
+		e.wheelPos += 64 - (e.wheelPos % 64)
+	}
+}
+
+// wheelPop removes the event wheelHead returned. Drained slots are not
+// zeroed — see pop.
+func (e *Engine) wheelPop() event {
+	slot := e.wheelPos & wheelMask
+	b := &e.wheel[slot]
+	ev := b.evs[b.head]
+	b.head++
+	if b.head == len(b.evs) {
+		b.evs = b.evs[:0]
+		b.head = 0
+		e.wheelBits[slot/64] &^= 1 << (slot % 64)
+	}
+	e.wheelCount--
+	return ev
 }
 
 // Schedule queues fn to run delay cycles from now. A delay of 0 runs fn
@@ -121,7 +260,7 @@ func (e *Engine) Schedule(delay Cycle, fn func()) {
 		panic("engine: Schedule called with nil fn")
 	}
 	e.seq++
-	e.push(event{when: e.now + delay, seq: e.seq, fn: fn})
+	e.enqueue(event{when: e.now + delay, seq: e.seq, fn: fn})
 }
 
 // ScheduleArg queues fn(arg) to run delay cycles from now, with the same
@@ -133,7 +272,7 @@ func (e *Engine) ScheduleArg(delay Cycle, fn func(uint64), arg uint64) {
 		panic("engine: ScheduleArg called with nil fn")
 	}
 	e.seq++
-	e.push(event{when: e.now + delay, seq: e.seq, afn: fn, arg: arg})
+	e.enqueue(event{when: e.now + delay, seq: e.seq, afn: fn, arg: arg})
 }
 
 // At queues fn to run at the absolute cycle when, which must not be in the
@@ -149,15 +288,63 @@ func (e *Engine) At(when Cycle, fn func()) {
 func (e *Engine) Stop() { e.stopped = true }
 
 // Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.pq) }
+func (e *Engine) Pending() int {
+	return len(e.pq) + e.wheelCount + len(e.ring) - e.head
+}
+
+// next removes and returns the globally earliest event, merging the
+// same-cycle ring, the timing wheel, and the overflow heap by (when, seq).
+// Ring entries always have when == now, so they win unless an equal-cycle
+// wheel or heap event carries a smaller seq (scheduled on an earlier cycle
+// for this one). It reports false when no event is pending.
+func (e *Engine) next() (event, bool) {
+	const (
+		fromRing = iota
+		fromWheel
+		fromHeap
+	)
+	src := -1
+	var when Cycle
+	var seq uint64
+	if e.head < len(e.ring) {
+		src, when, seq = fromRing, e.ring[e.head].when, e.ring[e.head].seq
+	}
+	if wh := e.wheelHead(); wh != nil {
+		if src < 0 || wh.when < when || (wh.when == when && wh.seq < seq) {
+			src, when, seq = fromWheel, wh.when, wh.seq
+		}
+	}
+	if len(e.pq) > 0 {
+		if src < 0 || e.pq[0].when < when || (e.pq[0].when == when && e.pq[0].seq < seq) {
+			src = fromHeap
+		}
+	}
+	switch src {
+	case fromRing:
+		// Drained slots are not zeroed — see pop.
+		ev := e.ring[e.head]
+		e.head++
+		if e.head == len(e.ring) {
+			e.ring = e.ring[:0]
+			e.head = 0
+		}
+		return ev, true
+	case fromWheel:
+		return e.wheelPop(), true
+	case fromHeap:
+		return e.pop(), true
+	default:
+		return event{}, false
+	}
+}
 
 // Step executes the single earliest event, advancing the clock to its time.
 // It reports whether an event was executed.
 func (e *Engine) Step() bool {
-	if len(e.pq) == 0 {
+	ev, ok := e.next()
+	if !ok {
 		return false
 	}
-	ev := e.pop()
 	if ev.when < e.now {
 		panic("engine: time went backwards")
 	}
@@ -183,7 +370,21 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(limit Cycle) {
 	e.stopped = false
 	for !e.stopped {
-		if len(e.pq) == 0 || e.pq[0].when > limit {
+		if e.Pending() == 0 {
+			return
+		}
+		nextWhen := Cycle(0)
+		have := false
+		if e.head < len(e.ring) {
+			nextWhen, have = e.ring[e.head].when, true
+		}
+		if wh := e.wheelHead(); wh != nil && (!have || wh.when < nextWhen) {
+			nextWhen, have = wh.when, true
+		}
+		if len(e.pq) > 0 && (!have || e.pq[0].when < nextWhen) {
+			nextWhen = e.pq[0].when
+		}
+		if nextWhen > limit {
 			return
 		}
 		e.Step()

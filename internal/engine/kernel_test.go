@@ -82,11 +82,17 @@ func TestScheduleStepZeroAllocSteadyState(t *testing.T) {
 	e := New()
 	fn := func() {}
 	afn := func(uint64) {}
-	// Warm the heap to its high-water mark.
-	for i := 0; i < 128; i++ {
-		e.Schedule(Cycle(i%16), fn)
+	// Warm every queue structure to its high-water mark: the ring, the
+	// overflow heap, and all wheelSize timing-wheel buckets (each bucket's
+	// FIFO keeps its capacity across laps, so one warm lap with the peak
+	// per-cycle event count suffices).
+	for lap := 0; lap < 2; lap++ {
+		for i := 0; i < wheelSize+16; i++ {
+			e.Schedule(Cycle(i), fn)
+			e.ScheduleArg(Cycle(i), afn, uint64(i))
+		}
+		e.Run()
 	}
-	e.Run()
 	avg := testing.AllocsPerRun(500, func() {
 		for i := 0; i < 16; i++ {
 			e.Schedule(Cycle(i), fn)

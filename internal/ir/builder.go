@@ -1,0 +1,260 @@
+package ir
+
+import "fmt"
+
+// Label names a branch target while a program is under construction; the
+// builder patches the concrete pc into every referring branch at Build.
+type Label int
+
+type patch struct {
+	op    int
+	label Label
+}
+
+// Builder assembles a Prog. Emission methods append ops; NewLabel/Bind
+// handle forward and backward branches. Build validates and seals the
+// program. The zero Builder is not usable — construct with NewBuilder.
+type Builder struct {
+	ops     []Op
+	labels  []int // label -> bound pc, -1 while unbound
+	patches []patch
+	seed    int64
+}
+
+// NewBuilder starts a program whose random ops draw from seed (the
+// workload's per-thread seed).
+func NewBuilder(seed int64) *Builder {
+	return &Builder{seed: seed}
+}
+
+// NewLabel allocates an unbound label.
+func (b *Builder) NewLabel() Label {
+	b.labels = append(b.labels, -1)
+	return Label(len(b.labels) - 1)
+}
+
+// Bind attaches l to the next emitted op.
+func (b *Builder) Bind(l Label) {
+	if b.labels[l] != -1 {
+		panic(fmt.Sprintf("ir: label %d bound twice", l))
+	}
+	b.labels[l] = len(b.ops)
+}
+
+func (b *Builder) emit(op Op) { b.ops = append(b.ops, op) }
+
+func (b *Builder) branch(code OpCode, x, y Reg, l Label) {
+	b.patches = append(b.patches, patch{op: len(b.ops), label: l})
+	b.emit(Op{Code: code, A: x, B: y})
+}
+
+func checkSize(size int) Reg {
+	switch size {
+	case 1, 2, 4, 8:
+		return Reg(size)
+	}
+	panic(fmt.Sprintf("ir: bad access size %d", size))
+}
+
+// --- machine ops ---
+
+// Halt ends the program.
+func (b *Builder) Halt() { b.emit(Op{Code: OpHalt}) }
+
+// Load reads size bytes at reg[base]+off into d.
+func (b *Builder) Load(d, base Reg, off uint64, size int) {
+	b.emit(Op{Code: OpLoad, A: d, B: base, C: checkSize(size), Imm: off})
+}
+
+// Load64 is Load at pointer width.
+func (b *Builder) Load64(d, base Reg, off uint64) { b.Load(d, base, off, 8) }
+
+// Store writes size bytes of reg[v] at reg[base]+off.
+func (b *Builder) Store(v, base Reg, off uint64, size int) {
+	b.emit(Op{Code: OpStore, A: v, B: base, C: checkSize(size), Imm: off})
+}
+
+// Store64 is Store at pointer width.
+func (b *Builder) Store64(v, base Reg, off uint64) { b.Store(v, base, off, 8) }
+
+// Flush emits Env.Flush of reg[base]+off.
+func (b *Builder) Flush(base Reg, off uint64) {
+	b.emit(Op{Code: OpFlush, B: base, Imm: off})
+}
+
+// Fence emits Env.Fence.
+func (b *Builder) Fence() { b.emit(Op{Code: OpFence}) }
+
+// BarrierAddr appends reg[base]+off to the pending barrier's address list.
+func (b *Builder) BarrierAddr(base Reg, off uint64) {
+	b.emit(Op{Code: OpBarrierAddr, B: base, Imm: off})
+}
+
+// Barrier emits Env.PersistBarrier over the accumulated addresses.
+func (b *Builder) Barrier() { b.emit(Op{Code: OpBarrier}) }
+
+// Compute burns n core cycles; n == 0 emits nothing (Env.Compute's early
+// return).
+func (b *Builder) Compute(n uint64) {
+	if n == 0 {
+		return
+	}
+	b.emit(Op{Code: OpCompute, Imm: n})
+}
+
+// CAS compare-and-swaps 8 bytes at reg[base]+off: expected reg[old], new
+// reg[newv]; the previous value replaces reg[newv]. Pointer width only —
+// the encoding spends C on the old-value register, and no workload CASes
+// narrower.
+func (b *Builder) CAS(newv, base Reg, off uint64, old Reg) {
+	b.emit(Op{Code: OpCAS, A: newv, B: base, C: old, Imm: off})
+}
+
+// --- inline ops ---
+
+// Const sets d = v.
+func (b *Builder) Const(d Reg, v uint64) { b.emit(Op{Code: OpConst, A: d, Imm: v}) }
+
+// Mov sets d = s.
+func (b *Builder) Mov(d, s Reg) { b.emit(Op{Code: OpMov, A: d, B: s}) }
+
+// Add sets d = x + y.
+func (b *Builder) Add(d, x, y Reg) { b.emit(Op{Code: OpAdd, A: d, B: x, C: y}) }
+
+// AddImm sets d = x + v.
+func (b *Builder) AddImm(d, x Reg, v uint64) { b.emit(Op{Code: OpAddImm, A: d, B: x, Imm: v}) }
+
+// Sub sets d = x - y.
+func (b *Builder) Sub(d, x, y Reg) { b.emit(Op{Code: OpSub, A: d, B: x, C: y}) }
+
+// SubImm sets d = x - v (encoded as wrapping addition).
+func (b *Builder) SubImm(d, x Reg, v uint64) { b.AddImm(d, x, -v) }
+
+// Mul sets d = x * y.
+func (b *Builder) Mul(d, x, y Reg) { b.emit(Op{Code: OpMul, A: d, B: x, C: y}) }
+
+// MulImm sets d = x * v.
+func (b *Builder) MulImm(d, x Reg, v uint64) { b.emit(Op{Code: OpMulImm, A: d, B: x, Imm: v}) }
+
+// Xor sets d = x ^ y.
+func (b *Builder) Xor(d, x, y Reg) { b.emit(Op{Code: OpXor, A: d, B: x, C: y}) }
+
+// XorImm sets d = x ^ v.
+func (b *Builder) XorImm(d, x Reg, v uint64) { b.emit(Op{Code: OpXorImm, A: d, B: x, Imm: v}) }
+
+// And sets d = x & y.
+func (b *Builder) And(d, x, y Reg) { b.emit(Op{Code: OpAnd, A: d, B: x, C: y}) }
+
+// AndImm sets d = x & v.
+func (b *Builder) AndImm(d, x Reg, v uint64) { b.emit(Op{Code: OpAndImm, A: d, B: x, Imm: v}) }
+
+// Or sets d = x | y.
+func (b *Builder) Or(d, x, y Reg) { b.emit(Op{Code: OpOr, A: d, B: x, C: y}) }
+
+// OrImm sets d = x | v.
+func (b *Builder) OrImm(d, x Reg, v uint64) { b.emit(Op{Code: OpOrImm, A: d, B: x, Imm: v}) }
+
+// Shl sets d = x << y (0 when y >= 64).
+func (b *Builder) Shl(d, x, y Reg) { b.emit(Op{Code: OpShl, A: d, B: x, C: y}) }
+
+// ShlImm sets d = x << v.
+func (b *Builder) ShlImm(d, x Reg, v uint64) { b.emit(Op{Code: OpShlImm, A: d, B: x, Imm: v}) }
+
+// Shr sets d = x >> y (logical; 0 when y >= 64).
+func (b *Builder) Shr(d, x, y Reg) { b.emit(Op{Code: OpShr, A: d, B: x, C: y}) }
+
+// ShrImm sets d = x >> v.
+func (b *Builder) ShrImm(d, x Reg, v uint64) { b.emit(Op{Code: OpShrImm, A: d, B: x, Imm: v}) }
+
+// MinU sets d = min(x, y) unsigned.
+func (b *Builder) MinU(d, x, y Reg) { b.emit(Op{Code: OpMinU, A: d, B: x, C: y}) }
+
+// MaxU sets d = max(x, y) unsigned.
+func (b *Builder) MaxU(d, x, y Reg) { b.emit(Op{Code: OpMaxU, A: d, B: x, C: y}) }
+
+// Jmp branches unconditionally to l.
+func (b *Builder) Jmp(l Label) {
+	b.patches = append(b.patches, patch{op: len(b.ops), label: l})
+	b.emit(Op{Code: OpJmp})
+}
+
+// Beq branches to l when x == y.
+func (b *Builder) Beq(x, y Reg, l Label) { b.branch(OpBeq, x, y, l) }
+
+// Bne branches to l when x != y.
+func (b *Builder) Bne(x, y Reg, l Label) { b.branch(OpBne, x, y, l) }
+
+// BltU branches to l when x < y (unsigned).
+func (b *Builder) BltU(x, y Reg, l Label) { b.branch(OpBltU, x, y, l) }
+
+// BgeU branches to l when x >= y (unsigned).
+func (b *Builder) BgeU(x, y Reg, l Label) { b.branch(OpBgeU, x, y, l) }
+
+// Rand64 sets d = rng.Uint64().
+func (b *Builder) Rand64(d Reg) { b.emit(Op{Code: OpRand64, A: d}) }
+
+// RandIntn sets d = uint64(rng.Intn(n)); n must be positive.
+func (b *Builder) RandIntn(d Reg, n int) {
+	if n <= 0 {
+		panic("ir: RandIntn needs n > 0")
+	}
+	b.emit(Op{Code: OpRandIntn, A: d, Imm: uint64(n)})
+}
+
+// RandInt63n sets d = uint64(rng.Int63n(n)); n must be positive.
+func (b *Builder) RandInt63n(d Reg, n int64) {
+	if n <= 0 {
+		panic("ir: RandInt63n needs n > 0")
+	}
+	b.emit(Op{Code: OpRandInt63n, A: d, Imm: uint64(n)})
+}
+
+// SortNetwork emits an in-register unsigned ascending sort of regs (bubble
+// network: correct for any input, zero simulated cost — mirroring the
+// host-side sort the goroutine twins perform between machine ops). tmp must
+// not alias any sorted register.
+func (b *Builder) SortNetwork(regs []Reg, tmp Reg) {
+	n := len(regs)
+	for i := 0; i < n-1; i++ {
+		for j := 0; j < n-1-i; j++ {
+			x, y := regs[j], regs[j+1]
+			b.MinU(tmp, x, y)
+			b.MaxU(y, x, y)
+			b.Mov(x, tmp)
+		}
+	}
+}
+
+// Build validates and seals the program: every referenced label bound, all
+// branch targets patched, registers in range, barrier accumulation bounded.
+func (b *Builder) Build() *Prog {
+	ops := b.ops
+	for _, p := range b.patches {
+		pc := b.labels[p.label]
+		if pc < 0 {
+			panic(fmt.Sprintf("ir: label %d referenced but never bound", p.label))
+		}
+		ops[p.op].Imm = uint64(pc)
+	}
+	// A straight-line scan bounds the barrier accumulator: every workload
+	// emission keeps its BarrierAddr run and the closing Barrier in one
+	// basic block, so the linear maximum is exact.
+	run := 0
+	for i, op := range ops {
+		// C doubles as the size field (1..8) of memory ops, which always
+		// passes the register-range check.
+		if op.A >= NumRegs || op.B >= NumRegs || op.C >= NumRegs {
+			panic(fmt.Sprintf("ir: op %d (%s) names register out of range", i, op))
+		}
+		switch op.Code {
+		case OpBarrierAddr:
+			run++
+			if run > MaxBarrierAddrs {
+				panic(fmt.Sprintf("ir: op %d exceeds %d barrier addresses", i, MaxBarrierAddrs))
+			}
+		case OpBarrier:
+			run = 0
+		}
+	}
+	return &Prog{Ops: ops, Seed: b.seed}
+}

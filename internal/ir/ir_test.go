@@ -1,0 +1,462 @@
+package ir
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// run drives a program with no machine behind it: loads and CASes resume
+// with the values from resumes (consumed in order), everything else resumes
+// with zero. It returns the sequence of machine actions the interpreter
+// yielded, excluding the final ActionDone.
+func run(t *testing.T, p *Prog, cfg Config, resumes ...uint64) []Action {
+	t.Helper()
+	var it Interp
+	it.Reset(p, cfg)
+	var acts []Action
+	var resume uint64
+	for i := 0; ; i++ {
+		if i > 1_000_000 {
+			t.Fatal("program did not halt")
+		}
+		var act Action
+		it.Next(resume, &act)
+		resume = 0
+		if act.Kind == ActionDone {
+			if !it.Halted() {
+				t.Fatal("ActionDone without Halted()")
+			}
+			return acts
+		}
+		acts = append(acts, act)
+		if act.Kind == ActionLoad || act.Kind == ActionCAS {
+			if len(resumes) == 0 {
+				t.Fatalf("action %d (%v) needs a resume value", i, act.Kind)
+			}
+			resume = resumes[0]
+			resumes = resumes[1:]
+		}
+	}
+}
+
+// regAfter executes a straight-line program and returns reg r's final value,
+// observed by storing it (the interpreter's registers are private).
+func regAfter(t *testing.T, build func(b *Builder), r Reg) uint64 {
+	t.Helper()
+	b := NewBuilder(1)
+	build(b)
+	b.Store64(r, 0, 0x1000)
+	b.Halt()
+	acts := run(t, b.Build(), Config{})
+	return acts[len(acts)-1].Val
+}
+
+func TestALUOps(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(b *Builder)
+		want  uint64
+	}{
+		{"const", func(b *Builder) { b.Const(0, 42) }, 42},
+		{"mov", func(b *Builder) { b.Const(1, 7); b.Mov(0, 1) }, 7},
+		{"add", func(b *Builder) { b.Const(1, 3); b.Const(2, 4); b.Add(0, 1, 2) }, 7},
+		{"addi_wrap", func(b *Builder) { b.Const(1, ^uint64(0)); b.AddImm(0, 1, 2) }, 1},
+		{"sub", func(b *Builder) { b.Const(1, 3); b.Const(2, 5); b.Sub(0, 1, 2) }, ^uint64(0) - 1},
+		{"subi", func(b *Builder) { b.Const(1, 10); b.SubImm(0, 1, 4) }, 6},
+		{"mul", func(b *Builder) { b.Const(1, 6); b.Const(2, 7); b.Mul(0, 1, 2) }, 42},
+		{"muli", func(b *Builder) { b.Const(1, 9); b.MulImm(0, 1, 9) }, 81},
+		{"xor", func(b *Builder) { b.Const(1, 0xF0); b.Const(2, 0xFF); b.Xor(0, 1, 2) }, 0x0F},
+		{"xori", func(b *Builder) { b.Const(1, 0xF0); b.XorImm(0, 1, 0x0F) }, 0xFF},
+		{"and", func(b *Builder) { b.Const(1, 0xF0); b.Const(2, 0x3C); b.And(0, 1, 2) }, 0x30},
+		{"andi", func(b *Builder) { b.Const(1, 0xF0); b.AndImm(0, 1, 0x18) }, 0x10},
+		{"or", func(b *Builder) { b.Const(1, 0xF0); b.Const(2, 0x0C); b.Or(0, 1, 2) }, 0xFC},
+		{"ori", func(b *Builder) { b.Const(1, 0xF0); b.OrImm(0, 1, 0x03) }, 0xF3},
+		{"shli", func(b *Builder) { b.Const(1, 3); b.ShlImm(0, 1, 4) }, 48},
+		{"shri", func(b *Builder) { b.Const(1, 48); b.ShrImm(0, 1, 4) }, 3},
+		{"minu", func(b *Builder) { b.Const(1, 5); b.Const(2, 3); b.MinU(0, 1, 2) }, 3},
+		{"maxu", func(b *Builder) { b.Const(1, 5); b.Const(2, 3); b.MaxU(0, 1, 2) }, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := regAfter(t, tc.build, 0); got != tc.want {
+				t.Fatalf("got %#x, want %#x", got, tc.want)
+			}
+		})
+	}
+}
+
+// Variable shifts must match Go's uint64 semantics: a count >= 64 yields 0,
+// not the x86 count-mod-64 behaviour — the Env twins shift in Go.
+func TestShiftSemanticsAtWidth(t *testing.T) {
+	for _, count := range []uint64{63, 64, 65, 1 << 40} {
+		shl := regAfter(t, func(b *Builder) {
+			b.Const(1, 1)
+			b.Const(2, count)
+			b.Shl(0, 1, 2)
+		}, 0)
+		shr := regAfter(t, func(b *Builder) {
+			b.Const(1, ^uint64(0))
+			b.Const(2, count)
+			b.Shr(0, 1, 2)
+		}, 0)
+		wantShl, wantShr := uint64(0), uint64(0)
+		if count < 64 {
+			wantShl = 1 << count
+			wantShr = ^uint64(0) >> count
+		}
+		if shl != wantShl || shr != wantShr {
+			t.Fatalf("count %d: shl=%#x shr=%#x, want %#x %#x", count, shl, shr, wantShl, wantShr)
+		}
+	}
+}
+
+func TestBranchesAndLoop(t *testing.T) {
+	// Sum 1..10 with a backward BltU loop, then branch over a poison store
+	// with each conditional form.
+	b := NewBuilder(1)
+	b.Const(0, 0) // sum
+	b.Const(1, 1) // i
+	b.Const(2, 11)
+	top := b.NewLabel()
+	b.Bind(top)
+	b.Add(0, 0, 1)
+	b.AddImm(1, 1, 1)
+	b.BltU(1, 2, top)
+	b.Store64(0, 0, 0x1000)
+	b.Halt()
+	acts := run(t, b.Build(), Config{})
+	if got := acts[len(acts)-1].Val; got != 55 {
+		t.Fatalf("sum = %d, want 55", got)
+	}
+}
+
+func TestBranchForms(t *testing.T) {
+	// Each branch form jumps over a store of 0xBAD when taken.
+	type form struct {
+		name  string
+		x, y  uint64
+		emit  func(b *Builder, l Label)
+		taken bool
+	}
+	forms := []form{
+		{"beq_taken", 4, 4, func(b *Builder, l Label) { b.Beq(1, 2, l) }, true},
+		{"beq_not", 4, 5, func(b *Builder, l Label) { b.Beq(1, 2, l) }, false},
+		{"bne_taken", 4, 5, func(b *Builder, l Label) { b.Bne(1, 2, l) }, true},
+		{"bne_not", 4, 4, func(b *Builder, l Label) { b.Bne(1, 2, l) }, false},
+		{"bltu_taken", 4, 5, func(b *Builder, l Label) { b.BltU(1, 2, l) }, true},
+		{"bltu_not", 5, 4, func(b *Builder, l Label) { b.BltU(1, 2, l) }, false},
+		{"bgeu_taken", 5, 4, func(b *Builder, l Label) { b.BgeU(1, 2, l) }, true},
+		{"bgeu_not", 4, 5, func(b *Builder, l Label) { b.BgeU(1, 2, l) }, false},
+	}
+	for _, f := range forms {
+		t.Run(f.name, func(t *testing.T) {
+			b := NewBuilder(1)
+			b.Const(1, f.x)
+			b.Const(2, f.y)
+			skip := b.NewLabel()
+			f.emit(b, skip)
+			b.Const(3, 0xBAD)
+			b.Store64(3, 0, 0x1000)
+			b.Bind(skip)
+			b.Halt()
+			acts := run(t, b.Build(), Config{})
+			if stored := len(acts) == 1; stored == f.taken {
+				t.Fatalf("taken = %v, but poison store emitted = %v", f.taken, stored)
+			}
+		})
+	}
+}
+
+func TestJmpForward(t *testing.T) {
+	b := NewBuilder(1)
+	skip := b.NewLabel()
+	b.Jmp(skip)
+	b.Const(0, 0xBAD)
+	b.Store64(0, 0, 0x1000)
+	b.Bind(skip)
+	b.Halt()
+	if acts := run(t, b.Build(), Config{}); len(acts) != 0 {
+		t.Fatalf("Jmp did not skip the poison store: %v", acts)
+	}
+}
+
+// The PRNG ops must reproduce math/rand's stream for the program seed —
+// that is the whole equivalence contract with the goroutine twins' per-
+// thread rand.Rand.
+func TestRandOpsMatchMathRand(t *testing.T) {
+	const seed = 99
+	b := NewBuilder(seed)
+	b.Rand64(0)
+	b.Store64(0, 0, 0x1000)
+	b.RandIntn(0, 1000)
+	b.Store64(0, 0, 0x1000)
+	b.RandInt63n(0, 1<<40)
+	b.Store64(0, 0, 0x1000)
+	b.Halt()
+	acts := run(t, b.Build(), Config{})
+	rng := rand.New(rand.NewSource(seed))
+	want := []uint64{rng.Uint64(), uint64(rng.Intn(1000)), uint64(rng.Int63n(1 << 40))}
+	for i, w := range want {
+		if acts[i].Val != w {
+			t.Fatalf("draw %d = %d, want %d", i, acts[i].Val, w)
+		}
+	}
+}
+
+func TestLoadStoreCAS(t *testing.T) {
+	b := NewBuilder(1)
+	b.Const(1, 0x2000)
+	b.Load(0, 1, 8, 4) // 4-byte load at 0x2008
+	b.Store(0, 1, 16, 2)
+	b.Const(2, 7)  // expected old
+	b.Const(3, 11) // new
+	b.CAS(3, 1, 24, 2)
+	b.Store64(3, 1, 32) // stores the CAS's previous value
+	b.Halt()
+	acts := run(t, b.Build(), Config{}, 0xABCD /* load */, 7 /* CAS prev */)
+	if a := acts[0]; a.Kind != ActionLoad || a.Addr != 0x2008 || a.Size != 4 {
+		t.Fatalf("load action = %+v", a)
+	}
+	if a := acts[1]; a.Kind != ActionStore || a.Addr != 0x2010 || a.Size != 2 || a.Val != 0xABCD {
+		t.Fatalf("store action = %+v", a)
+	}
+	if a := acts[2]; a.Kind != ActionCAS || a.Addr != 0x2018 || a.Old != 7 || a.Val != 11 {
+		t.Fatalf("cas action = %+v", a)
+	}
+	if a := acts[3]; a.Val != 7 {
+		t.Fatalf("CAS resume value not written back: %+v", a)
+	}
+}
+
+// Barrier expansion is the interpreter's scheme-dependent decision: nothing
+// under the battery schemes, one epoch mark under BEP, clwb-per-address +
+// sfence under the PMEM model — exactly env.PersistBarrier.
+func TestBarrierExpansion(t *testing.T) {
+	prog := func() *Prog {
+		b := NewBuilder(1)
+		b.Const(1, 0x3000)
+		b.BarrierAddr(1, 0)
+		b.BarrierAddr(1, 64)
+		b.Barrier()
+		b.Halt()
+		return b.Build()
+	}
+	t.Run("battery", func(t *testing.T) {
+		if acts := run(t, prog(), Config{}); len(acts) != 0 {
+			t.Fatalf("battery barrier yielded %v, want nothing", acts)
+		}
+	})
+	t.Run("epoch", func(t *testing.T) {
+		acts := run(t, prog(), Config{EpochMode: true})
+		if len(acts) != 1 || acts[0].Kind != ActionEpoch {
+			t.Fatalf("epoch barrier yielded %v, want one epoch mark", acts)
+		}
+	})
+	t.Run("explicit", func(t *testing.T) {
+		acts := run(t, prog(), Config{ExplicitPersist: true})
+		if len(acts) != 3 {
+			t.Fatalf("explicit barrier yielded %d actions, want 3", len(acts))
+		}
+		if acts[0].Kind != ActionFlush || acts[0].Addr != 0x3000 {
+			t.Fatalf("first leg = %+v", acts[0])
+		}
+		if acts[1].Kind != ActionFlush || acts[1].Addr != 0x3040 {
+			t.Fatalf("second leg = %+v", acts[1])
+		}
+		if acts[2].Kind != ActionFence {
+			t.Fatalf("closing leg = %+v", acts[2])
+		}
+	})
+	// The accumulator must clear across barriers in every mode: a second
+	// barrier over one new address expands to exactly one flush.
+	t.Run("accumulator_clears", func(t *testing.T) {
+		b := NewBuilder(1)
+		b.Const(1, 0x3000)
+		b.BarrierAddr(1, 0)
+		b.BarrierAddr(1, 64)
+		b.Barrier()
+		b.BarrierAddr(1, 128)
+		b.Barrier()
+		b.Halt()
+		acts := run(t, b.Build(), Config{ExplicitPersist: true})
+		if len(acts) != 5 || acts[3].Kind != ActionFlush || acts[3].Addr != 0x3080 {
+			t.Fatalf("second barrier legs wrong: %v", acts)
+		}
+	})
+}
+
+func TestFlushFenceGating(t *testing.T) {
+	prog := func() *Prog {
+		b := NewBuilder(1)
+		b.Const(1, 0x4000)
+		b.Flush(1, 0)
+		b.Fence()
+		b.Halt()
+		return b.Build()
+	}
+	t.Run("battery", func(t *testing.T) {
+		if acts := run(t, prog(), Config{}); len(acts) != 0 {
+			t.Fatalf("battery flush+fence yielded %v", acts)
+		}
+	})
+	t.Run("epoch", func(t *testing.T) {
+		// BEP: Flush is a no-op, Fence marks an epoch.
+		acts := run(t, prog(), Config{EpochMode: true})
+		if len(acts) != 1 || acts[0].Kind != ActionEpoch {
+			t.Fatalf("epoch flush+fence yielded %v", acts)
+		}
+	})
+	t.Run("explicit", func(t *testing.T) {
+		acts := run(t, prog(), Config{ExplicitPersist: true})
+		if len(acts) != 2 || acts[0].Kind != ActionFlush || acts[1].Kind != ActionFence {
+			t.Fatalf("explicit flush+fence yielded %v", acts)
+		}
+	})
+}
+
+func TestComputeDropsZero(t *testing.T) {
+	b := NewBuilder(1)
+	b.Compute(0)
+	b.Compute(5)
+	b.Halt()
+	acts := run(t, b.Build(), Config{})
+	if len(acts) != 1 || acts[0].Kind != ActionCompute || acts[0].Cycles != 5 {
+		t.Fatalf("Compute(0)+Compute(5) yielded %v, want one 5-cycle burn", acts)
+	}
+}
+
+func TestSortNetwork(t *testing.T) {
+	regs := []Reg{1, 2, 3, 4, 5}
+	vals := []uint64{9, 2, ^uint64(0), 0, 7}
+	b := NewBuilder(1)
+	for i, r := range regs {
+		b.Const(r, vals[i])
+	}
+	b.SortNetwork(regs, 6)
+	for _, r := range regs {
+		b.Store64(r, 0, 0x1000)
+	}
+	b.Halt()
+	acts := run(t, b.Build(), Config{})
+	want := []uint64{0, 2, 7, 9, ^uint64(0)}
+	for i, w := range want {
+		if acts[i].Val != w {
+			t.Fatalf("sorted[%d] = %d, want %d", i, acts[i].Val, w)
+		}
+	}
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestBuildValidation(t *testing.T) {
+	mustPanic(t, "unbound label", func() {
+		b := NewBuilder(1)
+		l := b.NewLabel()
+		b.Jmp(l)
+		b.Halt()
+		b.Build()
+	})
+	mustPanic(t, "double bind", func() {
+		b := NewBuilder(1)
+		l := b.NewLabel()
+		b.Bind(l)
+		b.Bind(l)
+	})
+	mustPanic(t, "register out of range", func() {
+		b := NewBuilder(1)
+		b.Const(NumRegs, 1)
+		b.Halt()
+		b.Build()
+	})
+	mustPanic(t, "barrier accumulator overflow", func() {
+		b := NewBuilder(1)
+		b.Const(1, 0x1000)
+		for i := 0; i <= MaxBarrierAddrs; i++ {
+			b.BarrierAddr(1, uint64(i)*64)
+		}
+		b.Barrier()
+		b.Halt()
+		b.Build()
+	})
+	mustPanic(t, "bad access size", func() {
+		b := NewBuilder(1)
+		b.Load(0, 1, 0, 3)
+	})
+	mustPanic(t, "RandIntn(0)", func() {
+		b := NewBuilder(1)
+		b.RandIntn(0, 0)
+	})
+}
+
+func TestDisasm(t *testing.T) {
+	b := NewBuilder(1)
+	b.Const(1, 0x40)
+	top := b.NewLabel()
+	b.Bind(top)
+	b.Load64(0, 1, 8)
+	b.Bne(0, 1, top)
+	b.Halt()
+	d := b.Build().Disasm()
+	for _, want := range []string{"const", "load", "bne", "halt", "0x40"} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("Disasm missing %q:\n%s", want, d)
+		}
+	}
+	// Branch targets must be patched to concrete pcs, not left zero.
+	if !strings.Contains(d, "bne r0, r1, r0, 0x1") {
+		t.Fatalf("branch target not patched to pc 1:\n%s", d)
+	}
+}
+
+func TestOpCodeStringTotal(t *testing.T) {
+	for c := OpCode(0); c < nOpcodes; c++ {
+		if s := c.String(); s == "" || strings.HasPrefix(s, "op(") {
+			t.Fatalf("opcode %d has no name", c)
+		}
+	}
+	if s := nOpcodes.String(); !strings.HasPrefix(s, "op(") {
+		t.Fatalf("out-of-range opcode stringified as %q", s)
+	}
+}
+
+// BenchmarkIRInterpreter measures the interpreter alone — the per-op cost
+// the compiled path adds on top of the machine model, with no engine or
+// cache hierarchy behind it. bench-json tracks it as the ceiling on what
+// compiled-path throughput could reach if the machine model were free.
+func BenchmarkIRInterpreter(b *testing.B) {
+	// The inner loop of a store-heavy workload: PRNG offset, one store, a
+	// little ALU — roughly the mutateNC per-op mix.
+	bld := NewBuilder(1)
+	bld.Const(0, 0)             // counter
+	bld.Const(1, 1_000_000_000) // effectively infinite limit
+	bld.Const(2, 0x10000)       // base
+	top := bld.NewLabel()
+	bld.Bind(top)
+	bld.RandIntn(3, 4096)
+	bld.ShlImm(3, 3, 3)
+	bld.Add(3, 3, 2)
+	bld.Store64(0, 3, 0)
+	bld.AddImm(0, 0, 1)
+	bld.BltU(0, 1, top)
+	bld.Halt()
+	p := bld.Build()
+
+	var it Interp
+	it.Reset(p, Config{})
+	var act Action
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it.Next(0, &act)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "machine_ops/s")
+}

@@ -102,6 +102,13 @@ type Controller struct {
 	// every WPQ drain; the drained address rides in the event.
 	drainDone func(addr uint64)
 
+	readFree  *readOp  // pooled medium-read completions
+	drainFree *drainOp // pooled WPQ drain transfers
+
+	// Cached handles for the per-request counters (the names concatenate
+	// the controller name, so building them per call would allocate).
+	nReads, nWrites, nWPQReadHits, nWPQCoalesced, nWPQFullStalls, nWPQDrains stats.Lazy
+
 	// Stats collects controller counters, prefixed with the config name.
 	Stats *stats.Counters
 }
@@ -118,10 +125,80 @@ func New(cfg Config, eng *engine.Engine, mem *memory.Memory) *Controller {
 		chanFree: make([]engine.Cycle, cfg.Channels),
 		Stats:    stats.NewCounters(),
 	}
+	c.nReads = c.Stats.Lazy(c.counter("reads"))
+	c.nWrites = c.Stats.Lazy(c.counter("writes"))
+	c.nWPQReadHits = c.Stats.Lazy(c.counter("wpq_read_hits"))
+	c.nWPQCoalesced = c.Stats.Lazy(c.counter("wpq_coalesced"))
+	c.nWPQFullStalls = c.Stats.Lazy(c.counter("wpq_full_stalls"))
+	c.nWPQDrains = c.Stats.Lazy(c.counter("wpq_drains"))
 	c.drainDone = func(addr uint64) {
-		c.Stats.Inc(c.counter("wpq_drains"))
+		c.nWPQDrains.Inc()
 	}
 	return c
+}
+
+// readOp is a pooled medium-read completion: it fills the caller's buffer
+// inside the completion event, replacing the per-read capturing closure.
+type readOp struct {
+	c     *Controller
+	next  *readOp
+	addr  memory.Addr
+	buf   *[memory.LineSize]byte
+	done  func()
+	runFn func()
+}
+
+func (c *Controller) getReadOp() *readOp {
+	op := c.readFree
+	if op == nil {
+		op = &readOp{c: c}
+		op.runFn = func() {
+			op.c.mem.ReadLine(op.addr, op.buf)
+			done := op.done
+			op.buf, op.done = nil, nil
+			op.next = op.c.readFree
+			op.c.readFree = op
+			done()
+		}
+		return op
+	}
+	c.readFree = op.next
+	op.next = nil
+	return op
+}
+
+// drainOp is a pooled WPQ drain transfer, replacing the per-drain closure.
+type drainOp struct {
+	c     *Controller
+	next  *drainOp
+	addr  memory.Addr
+	enq   engine.Cycle
+	data  [memory.LineSize]byte
+	runFn func()
+}
+
+func (c *Controller) getDrainOp() *drainOp {
+	op := c.drainFree
+	if op == nil {
+		op = &drainOp{c: c}
+		op.runFn = func() {
+			ctl := op.c
+			addr, enq := op.addr, op.enq
+			ctl.mem.WriteLine(addr, &op.data)
+			op.next = ctl.drainFree
+			ctl.drainFree = op
+			ctl.wpqRemove(addr)
+			ctl.eng.EmitTrace(trace.KindWPQDrain, -1, addr, uint64(len(ctl.wpq)))
+			ctl.eng.Metrics.Observe("wpq.residency", uint64(ctl.eng.Now()-enq))
+			ctl.eng.Metrics.Sample("wpq.depth", uint64(ctl.eng.Now()), -1, uint64(len(ctl.wpq)))
+			ctl.admitWaiters()
+			ctl.maybeDrain()
+		}
+		return op
+	}
+	c.drainFree = op.next
+	op.next = nil
+	return op
 }
 
 // Config returns the controller's configuration.
@@ -151,9 +228,9 @@ func (c *Controller) claimChannel(occ engine.Cycle) engine.Cycle {
 // are snooped first: a hit returns the queued data at the accept latency
 // without touching the medium.
 func (c *Controller) Read(addr memory.Addr, done func(data [memory.LineSize]byte)) {
-	c.Stats.Inc(c.counter("reads"))
+	c.nReads.Inc()
 	if data, ok := c.snoop(addr); ok {
-		c.Stats.Inc(c.counter("wpq_read_hits"))
+		c.nWPQReadHits.Inc()
 		c.eng.Schedule(c.cfg.WPQAcceptLat, func() { done(data) })
 		return
 	}
@@ -166,6 +243,25 @@ func (c *Controller) Read(addr memory.Addr, done func(data [memory.LineSize]byte
 	})
 }
 
+// ReadInto fetches the line at addr into *buf, invoking done when the read
+// completes. It is the allocation-free counterpart of Read for pooled
+// callers: a WPQ snoop hit copies synchronously and schedules done as-is; a
+// medium read fills buf inside a pooled completion event. Timing and stats
+// match Read exactly.
+func (c *Controller) ReadInto(addr memory.Addr, buf *[memory.LineSize]byte, done func()) {
+	c.nReads.Inc()
+	if data, ok := c.snoop(addr); ok {
+		c.nWPQReadHits.Inc()
+		*buf = data
+		c.eng.Schedule(c.cfg.WPQAcceptLat, done)
+		return
+	}
+	start := c.claimChannel(c.cfg.ReadOcc)
+	op := c.getReadOp()
+	op.addr, op.buf, op.done = addr, buf, done
+	c.eng.At(start+c.cfg.ReadLat, op.runFn)
+}
+
 // Write makes the line at addr durable (NVMM) or written (DRAM), invoking
 // done at the controller's persist point: WPQ acceptance for a controller
 // with a WPQ, medium completion otherwise.
@@ -174,7 +270,7 @@ func (c *Controller) Read(addr memory.Addr, done func(data [memory.LineSize]byte
 // is called — only the done callback carries timing — so an eviction
 // followed immediately by a refetch can never observe stale data.
 func (c *Controller) Write(addr memory.Addr, data [memory.LineSize]byte, done func()) {
-	c.Stats.Inc(c.counter("writes"))
+	c.nWrites.Inc()
 	if c.cfg.WPQEntries == 0 {
 		c.mem.WriteLine(addr, &data)
 		start := c.claimChannel(c.cfg.WriteOcc)
@@ -206,12 +302,12 @@ func (c *Controller) wpqWrite(w pendingWrite) {
 	// draining (the drain snapshot was taken; a fresh entry is made then).
 	if i := c.wpqFind(w.addr); i >= 0 && !c.wpq[i].draining {
 		c.wpq[i].data = w.data
-		c.Stats.Inc(c.counter("wpq_coalesced"))
+		c.nWPQCoalesced.Inc()
 		c.ack(w.done)
 		return
 	}
 	if len(c.wpq) >= c.cfg.WPQEntries {
-		c.Stats.Inc(c.counter("wpq_full_stalls"))
+		c.nWPQFullStalls.Inc()
 		c.waiters = append(c.waiters, w)
 		return
 	}
@@ -280,19 +376,11 @@ func (c *Controller) oldestNotDraining() int {
 // any later read either snoops a fresher WPQ entry or sees the image.
 func (c *Controller) drainEntry(i int) {
 	c.wpq[i].draining = true
-	addr, data := c.wpq[i].addr, c.wpq[i].data
-	enq := c.wpq[i].enq
+	op := c.getDrainOp()
+	op.addr, op.data, op.enq = c.wpq[i].addr, c.wpq[i].data, c.wpq[i].enq
 	start := c.claimChannel(c.cfg.WriteOcc)
-	c.eng.At(start, func() {
-		c.mem.WriteLine(addr, &data)
-		c.wpqRemove(addr)
-		c.eng.EmitTrace(trace.KindWPQDrain, -1, addr, uint64(len(c.wpq)))
-		c.eng.Metrics.Observe("wpq.residency", uint64(c.eng.Now()-enq))
-		c.eng.Metrics.Sample("wpq.depth", uint64(c.eng.Now()), -1, uint64(len(c.wpq)))
-		c.admitWaiters()
-		c.maybeDrain()
-	})
-	c.eng.ScheduleArg(start+c.cfg.WriteLat-c.eng.Now(), c.drainDone, addr)
+	c.eng.At(start, op.runFn)
+	c.eng.ScheduleArg(start+c.cfg.WriteLat-c.eng.Now(), c.drainDone, op.addr)
 }
 
 func (c *Controller) wpqRemove(addr memory.Addr) {

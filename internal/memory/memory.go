@@ -8,6 +8,7 @@
 package memory
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 )
@@ -105,6 +106,12 @@ type Memory struct {
 	pages  map[Addr]*[PageSize]byte
 	wear   map[Addr]uint64 // per-line NVMM write counts (optional)
 
+	// Last-page memo: accesses cluster heavily within a page (sequential
+	// setup pokes, line reads), and pages are never removed once
+	// materialized, so the memo cannot go stale.
+	lastBase Addr
+	lastPage *[PageSize]byte
+
 	// Writes counts line-sized writes per region (for endurance accounting).
 	Writes [2]uint64
 	// Reads counts line-sized reads per region.
@@ -121,10 +128,16 @@ func (m *Memory) Layout() Layout { return m.layout }
 
 func (m *Memory) page(a Addr, create bool) *[PageSize]byte {
 	base := a &^ (PageSize - 1)
+	if m.lastPage != nil && base == m.lastBase {
+		return m.lastPage
+	}
 	p := m.pages[base]
 	if p == nil && create {
 		p = new([PageSize]byte)
 		m.pages[base] = p
+	}
+	if p != nil {
+		m.lastBase, m.lastPage = base, p
 	}
 	return p
 }
@@ -196,6 +209,20 @@ func (m *Memory) Poke(a Addr, b []byte) {
 		copy(p[off:off+chunk], b[i:i+chunk])
 		i += chunk
 	}
+}
+
+// Poke64 writes a little-endian uint64 at a without accounting — the
+// word-sized fast path workload setup loops lean on.
+func (m *Memory) Poke64(a Addr, v uint64) {
+	off := a & (PageSize - 1)
+	if off+8 <= PageSize {
+		p := m.page(a, true)
+		binary.LittleEndian.PutUint64(p[off:], v)
+		return
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	m.Poke(a, b[:])
 }
 
 // TouchedPages reports how many distinct pages have been materialized.

@@ -263,6 +263,40 @@ func (p *bepPolicy) OnEpochBarrier(core int) {
 // bbbPolicy wires the per-core persist buffers into the hierarchy's hooks.
 type bbbPolicy struct {
 	bufs []bbpb.PersistBuffer
+
+	// drainFree pools the force-drain completion adapters so the LLC
+	// eviction path stays allocation-free (several evictions — one per
+	// filling transaction — can be in flight at once).
+	drainFree *evictDrain
+}
+
+// evictDrain adapts a hierarchy eviction callback (func(bool)) to the
+// bbPB's ForceDrain completion (func()), recycling itself when it fires.
+type evictDrain struct {
+	p    *bbbPolicy
+	next *evictDrain
+	done func(bool)
+	fn   func()
+}
+
+func (p *bbbPolicy) getEvictDrain(done func(bool)) *evictDrain {
+	e := p.drainFree
+	if e == nil {
+		e = &evictDrain{p: p}
+		e.fn = func() {
+			cb := e.done
+			e.done = nil
+			e.next = e.p.drainFree
+			e.p.drainFree = e
+			// The drain already carried the data to NVMM: no writeback.
+			cb(false)
+		}
+	} else {
+		p.drainFree = e.next
+		e.next = nil
+	}
+	e.done = done
+	return e
 }
 
 var _ coherence.PersistPolicy = (*bbbPolicy)(nil)
@@ -300,7 +334,7 @@ func (p *bbbPolicy) OnLLCEvict(addr memory.Addr, persistent, dirty bool, done fu
 	// already carries the freshest data to NVMM.
 	for c := range p.bufs {
 		if p.bufs[c].Has(addr) {
-			p.bufs[c].ForceDrain(addr, func() { done(false) })
+			p.bufs[c].ForceDrain(addr, p.getEvictDrain(done).fn)
 			return
 		}
 	}

@@ -11,28 +11,66 @@ import (
 
 // Counters is a named set of monotonically increasing counters.
 type Counters struct {
-	m     map[string]uint64
+	m     map[string]*uint64
 	order []string
 }
 
 // NewCounters returns an empty counter set.
 func NewCounters() *Counters {
-	return &Counters{m: make(map[string]uint64)}
+	return &Counters{m: make(map[string]*uint64)}
+}
+
+// Cell returns a pointer to name's counter cell, registering the counter
+// (at its first-touch position in Names) if needed. The pointer stays valid
+// for the Counters' lifetime, so hot paths can increment through it without
+// repeating the string-map lookup.
+func (c *Counters) Cell(name string) *uint64 {
+	p := c.m[name]
+	if p == nil {
+		p = new(uint64)
+		c.m[name] = p
+		c.order = append(c.order, name)
+	}
+	return p
 }
 
 // Add increments counter name by n, creating it if needed.
-func (c *Counters) Add(name string, n uint64) {
-	if _, ok := c.m[name]; !ok {
-		c.order = append(c.order, name)
-	}
-	c.m[name] += n
-}
+func (c *Counters) Add(name string, n uint64) { *c.Cell(name) += n }
 
 // Inc increments counter name by one.
 func (c *Counters) Inc(name string) { c.Add(name, 1) }
 
 // Get returns the value of counter name (zero if never touched).
-func (c *Counters) Get(name string) uint64 { return c.m[name] }
+func (c *Counters) Get(name string) uint64 {
+	if p := c.m[name]; p != nil {
+		return *p
+	}
+	return 0
+}
+
+// Lazy is a cached handle to one counter for per-event hot paths. The
+// counter registers at the first Inc/Add — not at handle creation — so a
+// never-touched counter stays out of Names and rendered listings, exactly
+// as if the call sites still used Counters.Inc directly.
+type Lazy struct {
+	c    *Counters
+	name string
+	p    *uint64
+}
+
+// Lazy returns a handle for name bound to c.
+func (c *Counters) Lazy(name string) Lazy { return Lazy{c: c, name: name} }
+
+// Add increments the counter by n.
+func (l *Lazy) Add(n uint64) {
+	if l.p == nil {
+		l.p = l.c.Cell(l.name)
+	}
+	*l.p += n
+}
+
+// Inc increments the counter by one.
+func (l *Lazy) Inc() { l.Add(1) }
 
 // Names returns counter names in first-touch order.
 func (c *Counters) Names() []string { return append([]string(nil), c.order...) }
@@ -40,7 +78,7 @@ func (c *Counters) Names() []string { return append([]string(nil), c.order...) }
 // Merge adds every counter from other into c.
 func (c *Counters) Merge(other *Counters) {
 	for _, n := range other.order {
-		c.Add(n, other.m[n])
+		c.Add(n, *other.m[n])
 	}
 }
 
@@ -50,7 +88,7 @@ func (c *Counters) String() string {
 	names := c.Names()
 	sort.Strings(names)
 	for _, n := range names {
-		fmt.Fprintf(&b, "%-32s %12d\n", n, c.m[n])
+		fmt.Fprintf(&b, "%-32s %12d\n", n, *c.m[n])
 	}
 	return b.String()
 }
@@ -63,9 +101,9 @@ func (c *Counters) StringWith(doc map[string]string) string {
 	sort.Strings(names)
 	for _, n := range names {
 		if d := doc[n]; d != "" {
-			fmt.Fprintf(&b, "%-32s %12d  # %s\n", n, c.m[n], d)
+			fmt.Fprintf(&b, "%-32s %12d  # %s\n", n, *c.m[n], d)
 		} else {
-			fmt.Fprintf(&b, "%-32s %12d\n", n, c.m[n])
+			fmt.Fprintf(&b, "%-32s %12d\n", n, *c.m[n])
 		}
 	}
 	return b.String()

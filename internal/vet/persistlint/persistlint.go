@@ -701,6 +701,13 @@ func (a *analysis) resolveCall(call *ast.CallExpr) (callOp, bool) {
 	if firstIsEnv && fn.Name() == "Load64" {
 		return op, true // known pure read
 	}
+	// cpu.PersistBarrier is the non-allocating front door to
+	// Env.PersistBarrier; the address list starts at argument 1.
+	if firstIsEnv && fn.Name() == "PersistBarrier" {
+		op.barrierAddrs = call.Args[1:]
+		op.fences = true
+		return op, true
+	}
 	s := a.summaries[fn]
 	if s == nil {
 		return op, false

@@ -645,6 +645,14 @@ func (a *analysis) resolveCall(call *ast.CallExpr) (callOp, bool) {
 	if firstIsEnv && fn.Name() == "Load64" {
 		return op, true
 	}
+	// cpu.PersistBarrier is the non-allocating front door to
+	// Env.PersistBarrier; the address list starts at argument 1.
+	if firstIsEnv && fn.Name() == "PersistBarrier" {
+		op.clear = call.Args[1:]
+		op.fences = true
+		op.barrierAll = true
+		return op, true
+	}
 	s := a.summaries[fn]
 	if s == nil || s.pure {
 		return op, false

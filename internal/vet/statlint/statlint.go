@@ -13,10 +13,13 @@
 //   - A Glossary entry whose name nothing increments is reported — a stale
 //     or misspelled registration.
 //
-// Prefixed counter families built through helpers (the memory controllers
-// emit "dram.writes"/"nvmm.writes" via c.counter("writes")) are matched by
-// suffix: an increment of the literal "writes" nested inside the Inc/Add
-// argument satisfies reads and registrations of any "<prefix>.writes".
+// Hot paths increment through cached handles (`h := Stats.Lazy(name)`,
+// then `h.Inc()`); the Lazy registration carries the name, so it counts as
+// the increment site. Prefixed counter families built through helpers (the
+// memory controllers emit "dram.writes"/"nvmm.writes" via
+// c.counter("writes")) are matched by suffix: an increment of the literal
+// "writes" nested inside the Inc/Add/Lazy argument satisfies reads and
+// registrations of any "<prefix>.writes".
 //
 // The histogram/gauge registry (stats.Metrics) shares the namespace and
 // the failure mode, so it is audited the same way: Observe/Sample are
@@ -43,7 +46,7 @@ import (
 var Analyzer = &vet.Analyzer{
 	Name: "statlint",
 	Doc: `	statlint: dead / misspelled stats counters and metrics.
-	Every incremented counter (Counters.Inc/Add) and observed metric
+	Every incremented counter (Counters.Inc/Add/Lazy) and observed metric
 	(Metrics.Observe/Sample) must be documented in stats.Glossary or read
 	back (Get/Hist/Gauge); every read and every Glossary entry must name
 	one some code writes.`,
@@ -109,7 +112,10 @@ func recordCall(info *types.Info, call *ast.CallExpr, fx *facts, pass *vet.Pass)
 	var write, read bool
 	switch {
 	case isStatsMethod(fn, "Counters"):
-		write = fn.Name() == "Inc" || fn.Name() == "Add"
+		// Lazy is the hot-path increment form: the handle returned by
+		// Counters.Lazy(name) is what Inc/Add fires on later, so the
+		// registration site is where the name is written.
+		write = fn.Name() == "Inc" || fn.Name() == "Add" || fn.Name() == "Lazy"
 		read = fn.Name() == "Get"
 	case isStatsMethod(fn, "Metrics"):
 		// The histogram/gauge registry shares the stringly-typed namespace:

@@ -28,7 +28,18 @@ func (e *engine) work() {
 	e.c.Inc(e.prefixed("done")) // nested literal: satisfies the stage.done read
 }
 
+// hot caches increment handles; the Lazy registration is the write site.
+func (e *engine) hot() {
+	lz := e.c.Lazy("ops.lazy") // Get below: fine
+	lz.Inc()
+	dead := e.c.Lazy("ops.lazydead") // want "counter .ops.lazydead. is incremented but never read and not documented"
+	dead.Inc()
+	pref := e.c.Lazy(e.prefixed("lazysuffix")) // nested literal: satisfies the stage.lazysuffix read
+	pref.Inc()
+}
+
 func (e *engine) report() uint64 {
 	total := e.c.Get("ops.read") + e.c.Get("ops.batch") + e.c.Get("stage.done")
+	total += e.c.Get("ops.lazy") + e.c.Get("stage.lazysuffix")
 	return total + e.c.Get("ops.typo") // want "counter .ops.typo. is read but never incremented"
 }

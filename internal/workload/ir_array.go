@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"bbb/internal/ir"
+	"bbb/internal/system"
+)
+
+// Register plan for the array programs (low registers; shared helpers own
+// the top of the file).
+const (
+	arI    ir.Reg = iota // op index
+	arOps                // OpsPerThread
+	arIdx                // first picked element (byte offset after shift)
+	arIdx2               // second picked element (swap)
+	arTmp                // discarded load value
+	arVal                // encoded store value / swap temp 1
+	arVal2               // swap temp 2
+)
+
+// CompiledPrograms implements CompiledWorkload.
+func (a *Array) CompiledPrograms(p Params) []system.CompiledProgram {
+	progs := make([]system.CompiledProgram, p.Threads)
+	for t := 0; t < p.Threads; t++ {
+		progs[t] = a.compile(p, t)
+	}
+	return progs
+}
+
+// emitPick emits a.pick(t, r) into d as a byte offset from a.base.
+func (a *Array) emitPick(em *emitter, d ir.Reg, t int) {
+	if a.conflict {
+		em.RandIntn(d, a.elems)
+	} else {
+		part := a.elems / a.threads
+		em.RandIntn(d, part)
+		em.AddImm(d, d, uint64(t*part))
+	}
+	em.ShlImm(d, d, 3)
+}
+
+func (a *Array) compile(p Params, t int) *ir.Prog {
+	em := newEmitter(p, t)
+	base := uint64(a.base)
+	return em.opLoop(arI, arOps, func() {
+		switch a.op {
+		case OpMutate:
+			a.emitPick(em, arIdx, t)
+			em.Load64(arTmp, arIdx, base)
+			// encode(t, i): ops stay far below 2^48, so the seq mask is
+			// the identity and encode is a single OR.
+			em.OrImm(arVal, arI, arrayTag|uint64(t&0xFF)<<48)
+			em.Store64(arVal, arIdx, base)
+			em.barrier(bAddr{arIdx, base})
+		case OpSwap:
+			a.emitPick(em, arIdx, t)
+			a.emitPick(em, arIdx2, t)
+			em.Load64(arVal, arIdx, base)
+			em.Load64(arVal2, arIdx2, base)
+			em.Store64(arVal2, arIdx, base)
+			em.Store64(arVal, arIdx2, base)
+			em.barrier(bAddr{arIdx, base}, bAddr{arIdx2, base})
+		}
+		em.volatileWork(a.volWork(p))
+	})
+}
+
+var _ CompiledWorkload = (*Array)(nil)

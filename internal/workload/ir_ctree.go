@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"bbb/internal/ir"
+	"bbb/internal/memory"
+	"bbb/internal/system"
+)
+
+const (
+	ctI    ir.Reg = iota // op index
+	ctOps                // OpsPerThread
+	ctKey                // random key
+	ctCur                // root pointer value
+	ctPC                 // ptrCell address
+	ctNd                 // current node address
+	ctPeek               // magic probe
+	ctBit                // crit bit / internal node bit
+	ctMask               // 1 << bit
+	ctTmp                // key&mask scratch / LineAddr scratch
+	ctExK                // existing leaf key
+	ctDiff               // exKey ^ key
+	ctNBit               // descend-2 node bit
+	ctIN                 // new internal node address
+	ctNode               // arena bump: next allocation address
+	ctOne                // constant 1
+	ctMagI               // magicInternal
+	ctMagL               // magicLeaf
+)
+
+// CompiledPrograms implements CompiledWorkload.
+func (c *CTree) CompiledPrograms(p Params) []system.CompiledProgram {
+	progs := make([]system.CompiledProgram, p.Threads)
+	for t := 0; t < p.Threads; t++ {
+		progs[t] = c.compile(p, t)
+	}
+	return progs
+}
+
+// compile transcribes CTree.insert op for op: same loads in the same
+// order, same branch structure, so the machine-action stream is the
+// goroutine twin's exactly. Allocation is a bump register: leaf and
+// internal nodes both round to one line, and the twin allocates a leaf
+// (empty root), nothing (update) or leaf+internal (split) per op.
+func (c *CTree) compile(p Params, t int) *ir.Prog {
+	em := newEmitter(p, t)
+	root := uint64(c.root(t))
+	em.Const(ctOne, 1)
+	em.Const(ctMagI, magicInternal)
+	em.Const(ctMagL, magicLeaf)
+	em.Const(ctNode, uint64(c.arenas[t].Mark()))
+	return em.opLoop(ctI, ctOps, func() {
+		em.Rand64(ctKey) // val is the op index ctI
+		vw := em.NewLabel()
+
+		em.Load64(ctCur, regZero, root)
+		nonempty := em.NewLabel()
+		em.Bne(ctCur, regZero, nonempty)
+		// Empty root: fresh leaf, publish into the root cell.
+		em.Store64(ctKey, ctNode, offLeafKey)
+		em.Store64(ctI, ctNode, offLeafVal)
+		em.Store64(ctMagL, ctNode, offLeafMagic)
+		em.barrier(bAddr{ctNode, 0})
+		em.Store64(ctNode, regZero, root)
+		em.barrier(bAddr{regZero, root})
+		em.AddImm(ctNode, ctNode, memory.LineSize)
+		em.Jmp(vw)
+		em.Bind(nonempty)
+
+		// First descent: walk internal nodes by key bit to the candidate
+		// leaf, tracking the edge cell.
+		em.Const(ctPC, root)
+		em.Mov(ctNd, ctCur)
+		d1, d1done := em.NewLabel(), em.NewLabel()
+		em.Bind(d1)
+		em.Load64(ctPeek, ctNd, offIntMagic)
+		em.Bne(ctPeek, ctMagI, d1done)
+		em.Load64(ctBit, ctNd, offIntBit)
+		em.Shl(ctMask, ctOne, ctBit)
+		em.And(ctTmp, ctKey, ctMask)
+		right1, next1 := em.NewLabel(), em.NewLabel()
+		em.Bne(ctTmp, regZero, right1)
+		em.AddImm(ctPC, ctNd, offIntLeft)
+		em.Jmp(next1)
+		em.Bind(right1)
+		em.AddImm(ctPC, ctNd, offIntRight)
+		em.Bind(next1)
+		em.Load64(ctNd, ctPC, 0)
+		em.Jmp(d1)
+		em.Bind(d1done)
+
+		em.Load64(ctExK, ctNd, offLeafKey)
+		fresh := em.NewLabel()
+		em.Bne(ctExK, ctKey, fresh)
+		// Same key: update in place.
+		em.Store64(ctI, ctNd, offLeafVal)
+		em.barrier(bAddr{ctNd, 0})
+		em.Jmp(vw)
+		em.Bind(fresh)
+
+		// Highest differing bit (pure host work in the twin: inline only).
+		em.Xor(ctDiff, ctExK, ctKey)
+		em.Const(ctBit, 63)
+		bitloop, bitdone := em.NewLabel(), em.NewLabel()
+		em.Bind(bitloop)
+		em.Shl(ctMask, ctOne, ctBit)
+		em.And(ctTmp, ctDiff, ctMask)
+		em.Bne(ctTmp, regZero, bitdone)
+		em.SubImm(ctBit, ctBit, 1)
+		em.Jmp(bitloop)
+		em.Bind(bitdone)
+
+		// Second descent: stop at the first edge whose crit bit is at or
+		// below ours.
+		em.Const(ctPC, root)
+		em.Load64(ctNd, regZero, root)
+		d2, d2done := em.NewLabel(), em.NewLabel()
+		em.Bind(d2)
+		em.Load64(ctPeek, ctNd, offIntMagic)
+		em.Bne(ctPeek, ctMagI, d2done)
+		em.Load64(ctNBit, ctNd, offIntBit)
+		em.BgeU(ctBit, ctNBit, d2done) // nbit <= bit: insertion point
+		em.Shl(ctMask, ctOne, ctNBit)
+		em.And(ctTmp, ctKey, ctMask)
+		right2, next2 := em.NewLabel(), em.NewLabel()
+		em.Bne(ctTmp, regZero, right2)
+		em.AddImm(ctPC, ctNd, offIntLeft)
+		em.Jmp(next2)
+		em.Bind(right2)
+		em.AddImm(ctPC, ctNd, offIntRight)
+		em.Bind(next2)
+		em.Load64(ctNd, ctPC, 0)
+		em.Jmp(d2)
+		em.Bind(d2done)
+
+		// Build leaf (at the bump) and internal node (next line) off to
+		// the side, magics last; then the single commit store.
+		em.Store64(ctKey, ctNode, offLeafKey)
+		em.Store64(ctI, ctNode, offLeafVal)
+		em.Store64(ctMagL, ctNode, offLeafMagic)
+		em.AddImm(ctIN, ctNode, memory.LineSize)
+		em.Store64(ctBit, ctIN, offIntBit)
+		em.Shl(ctMask, ctOne, ctBit)
+		em.And(ctTmp, ctKey, ctMask)
+		keyhi, magic := em.NewLabel(), em.NewLabel()
+		em.Bne(ctTmp, regZero, keyhi)
+		em.Store64(ctNode, ctIN, offIntLeft)
+		em.Store64(ctNd, ctIN, offIntRight)
+		em.Jmp(magic)
+		em.Bind(keyhi)
+		em.Store64(ctNd, ctIN, offIntLeft)
+		em.Store64(ctNode, ctIN, offIntRight)
+		em.Bind(magic)
+		em.Store64(ctMagI, ctIN, offIntMagic)
+		em.barrier(bAddr{ctNode, 0}, bAddr{ctIN, 0})
+		em.Store64(ctIN, ctPC, 0)
+		em.AndImm(ctTmp, ctPC, ^uint64(memory.LineSize-1))
+		em.barrier(bAddr{ctTmp, 0})
+		em.AddImm(ctNode, ctNode, 2*memory.LineSize)
+
+		em.Bind(vw)
+		em.volatileWork(c.volWork(p))
+	})
+}
+
+var _ CompiledWorkload = (*CTree)(nil)

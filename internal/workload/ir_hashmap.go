@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"bbb/internal/ir"
+	"bbb/internal/memory"
+	"bbb/internal/system"
+)
+
+const (
+	hmI     ir.Reg = iota // op index
+	hmOps                 // OpsPerThread
+	hmKey                 // random key
+	hmHash                // hashKey accumulator
+	hmTmp                 // hash scratch
+	hmBkt                 // bucket byte offset
+	hmHead                // old bucket head
+	hmNode                // arena bump: next node address
+	hmMagic               // magicHashNode
+)
+
+// CompiledPrograms implements CompiledWorkload.
+func (h *Hashmap) CompiledPrograms(p Params) []system.CompiledProgram {
+	progs := make([]system.CompiledProgram, p.Threads)
+	for t := 0; t < p.Threads; t++ {
+		progs[t] = h.compile(p, t)
+	}
+	return progs
+}
+
+func (h *Hashmap) compile(p Params, t int) *ir.Prog {
+	mustPow2(h.buckets, "hashmap buckets")
+	em := newEmitter(p, t)
+	table := uint64(h.tableBases[t])
+	em.Const(hmMagic, magicHashNode)
+	em.Const(hmNode, uint64(h.arenas[t].Mark()))
+	return em.opLoop(hmI, hmOps, func() {
+		em.Rand64(hmKey)
+		// hashKey: the 64-bit finalizer, term by term.
+		em.ShrImm(hmTmp, hmKey, 33)
+		em.Xor(hmHash, hmKey, hmTmp)
+		em.MulImm(hmHash, hmHash, 0xff51afd7ed558ccd)
+		em.ShrImm(hmTmp, hmHash, 33)
+		em.Xor(hmHash, hmHash, hmTmp)
+		em.MulImm(hmHash, hmHash, 0xc4ceb9fe1a85ec53)
+		em.ShrImm(hmTmp, hmHash, 33)
+		em.Xor(hmHash, hmHash, hmTmp)
+		em.AndImm(hmHash, hmHash, uint64(h.buckets-1))
+		em.ShlImm(hmBkt, hmHash, 3)
+		em.Load64(hmHead, hmBkt, table)
+		em.Store64(hmKey, hmNode, offHashKey)
+		em.Store64(hmI, hmNode, offHashVal)
+		em.Store64(hmHead, hmNode, offHashNext)
+		em.Store64(hmMagic, hmNode, offHashMagic)
+		em.barrier(bAddr{hmNode, 0})
+		em.Store64(hmNode, hmBkt, table)
+		em.barrier(bAddr{hmBkt, table})
+		em.volatileWork(h.volWork(p))
+		em.AddImm(hmNode, hmNode, memory.LineSize)
+	})
+}
+
+var _ CompiledWorkload = (*Hashmap)(nil)

@@ -1,0 +1,50 @@
+package workload
+
+import (
+	"bbb/internal/ir"
+	"bbb/internal/memory"
+	"bbb/internal/system"
+)
+
+const (
+	llI     ir.Reg = iota // op index
+	llOps                 // OpsPerThread
+	llCur                 // current head value
+	llNode                // arena bump: next node address
+	llVal                 // node value (i + 1)
+	llMagic               // magicListNode
+)
+
+// CompiledPrograms implements CompiledWorkload.
+func (l *LinkedList) CompiledPrograms(p Params) []system.CompiledProgram {
+	progs := make([]system.CompiledProgram, p.Threads)
+	for t := 0; t < p.Threads; t++ {
+		progs[t] = l.compile(p, t)
+	}
+	return progs
+}
+
+func (l *LinkedList) compile(p Params, t int) *ir.Prog {
+	em := newEmitter(p, t)
+	head := uint64(l.head(t))
+	em.Const(llMagic, magicListNode)
+	// The goroutine twin allocates one line-rounded node per op from the
+	// thread's private arena and never frees: the addresses are the bump
+	// sequence from the arena's current mark, replayed here in a register.
+	em.Const(llNode, uint64(l.arenas[t].Mark()))
+	em.Load64(llCur, regZero, head)
+	return em.opLoop(llI, llOps, func() {
+		em.AddImm(llVal, llI, 1)
+		em.Store64(llVal, llNode, offListVal)
+		em.Store64(llCur, llNode, offListNext)
+		em.Store64(llMagic, llNode, offListMagic)
+		em.barrier(bAddr{llNode, 0})
+		em.Store64(llNode, regZero, head)
+		em.barrier(bAddr{regZero, head})
+		em.Mov(llCur, llNode)
+		em.volatileWork(l.volWork(p))
+		em.AddImm(llNode, llNode, memory.LineSize)
+	})
+}
+
+var _ CompiledWorkload = (*LinkedList)(nil)

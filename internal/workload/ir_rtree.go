@@ -1,0 +1,217 @@
+package workload
+
+import (
+	"bbb/internal/ir"
+	"bbb/internal/memory"
+	"bbb/internal/system"
+)
+
+const (
+	rtI     ir.Reg = iota // op index
+	rtOps                 // OpsPerThread
+	rtVal                 // inserted value
+	rtPC                  // ptrCell address
+	rtNd                  // current node address
+	rtLo                  // node lo
+	rtHi                  // node hi
+	rtChg                 // widen changed flag
+	rtLeafF               // leaf flag
+	rtCount               // entry count
+	rtBest                // best child address
+	rtBestC               // best child cell address
+	rtBCost               // best enlargement cost
+	rtJ                   // child scan index
+	rtTmp                 // scratch
+	rtCell                // child cell address
+	rtChild               // child address
+	rtCLo                 // child lo
+	rtCHi                 // child hi
+	rtCost                // enlargement cost
+	rtSlot                // append slot base
+	rtS0                  // split items occupy rtS0 .. rtS0+6
+	rtS1
+	rtS2
+	rtS3
+	rtS4
+	rtS5
+	rtS6
+	rtLB   // leafB address
+	rtIN   // new internal node address
+	rtLA   // LineAddr(ptrCell)
+	rtNode // arena bump: next allocation address
+	rtOne  // constant 1
+	rtSix  // constant rFanout
+	rtMagR // magicRNode
+)
+
+// CompiledPrograms implements CompiledWorkload.
+func (rt *RTree) CompiledPrograms(p Params) []system.CompiledProgram {
+	progs := make([]system.CompiledProgram, p.Threads)
+	for t := 0; t < p.Threads; t++ {
+		progs[t] = rt.compile(p, t)
+	}
+	return progs
+}
+
+// compile transcribes RTree.insert: widen-before-descend, least-enlargement
+// child choice, slot-then-count appends, and the median split — the same
+// loads, stores and barriers in the twin's order. Only splits allocate
+// (three two-line nodes), so the bump register advances by 3*128 there.
+func (rt *RTree) compile(p Params, t int) *ir.Prog {
+	em := newEmitter(p, t)
+	root := uint64(rt.root(t))
+	em.Const(rtOne, 1)
+	em.Const(rtSix, rFanout)
+	em.Const(rtMagR, magicRNode)
+	em.Const(rtNode, uint64(rt.arenas[t].Mark()))
+	// One allocation rounds 88 bytes up to two lines.
+	const nodeStride = 2 * memory.LineSize
+	return em.opLoop(rtI, rtOps, func() {
+		em.RandInt63n(rtVal, 1<<40)
+		vw := em.NewLabel()
+
+		em.Const(rtPC, root)
+		em.Load64(rtNd, rtPC, 0)
+		desc, descDone := em.NewLabel(), em.NewLabel()
+		em.Bind(desc)
+
+		// widen: grow [lo, hi] to include val, barrier only when changed.
+		em.Load64(rtLo, rtNd, offRLo)
+		em.Load64(rtHi, rtNd, offRHi)
+		em.Const(rtChg, 0)
+		empty, widened := em.NewLabel(), em.NewLabel()
+		em.BltU(rtHi, rtLo, empty) // lo > hi: empty interval
+		skipLo := em.NewLabel()
+		em.BgeU(rtVal, rtLo, skipLo)
+		em.Store64(rtVal, rtNd, offRLo)
+		em.Const(rtChg, 1)
+		em.Bind(skipLo)
+		skipHi := em.NewLabel()
+		em.BgeU(rtHi, rtVal, skipHi)
+		em.Store64(rtVal, rtNd, offRHi)
+		em.Const(rtChg, 1)
+		em.Bind(skipHi)
+		em.Jmp(widened)
+		em.Bind(empty)
+		em.Store64(rtVal, rtNd, offRLo)
+		em.Store64(rtVal, rtNd, offRHi)
+		em.Const(rtChg, 1)
+		em.Bind(widened)
+		if !p.NoBarriers {
+			skipB := em.NewLabel()
+			em.Beq(rtChg, regZero, skipB)
+			em.BarrierAddr(rtNd, 0)
+			em.Barrier()
+			em.Bind(skipB)
+		}
+
+		em.Load64(rtLeafF, rtNd, offRLeaf)
+		em.Beq(rtLeafF, rtOne, descDone)
+
+		// Internal: pick the child needing the least enlargement.
+		em.Load64(rtCount, rtNd, offRCount)
+		em.Const(rtBest, 0)
+		em.Const(rtBestC, 0)
+		em.Const(rtBCost, ^uint64(0))
+		em.Const(rtJ, 0)
+		child, childDone := em.NewLabel(), em.NewLabel()
+		em.Bind(child)
+		em.BgeU(rtJ, rtCount, childDone)
+		em.ShlImm(rtTmp, rtJ, 3)
+		em.Add(rtCell, rtNd, rtTmp)
+		em.AddImm(rtCell, rtCell, offREntry)
+		em.Load64(rtChild, rtCell, 0)
+		em.Load64(rtCLo, rtChild, offRLo)
+		em.Load64(rtCHi, rtChild, offRHi)
+		em.Const(rtCost, 0)
+		costDone, above := em.NewLabel(), em.NewLabel()
+		em.BltU(rtCHi, rtCLo, costDone) // empty child: free
+		em.BgeU(rtVal, rtCLo, above)
+		em.Sub(rtCost, rtCLo, rtVal)
+		em.Jmp(costDone)
+		em.Bind(above)
+		em.BgeU(rtCHi, rtVal, costDone) // inside: free
+		em.Sub(rtCost, rtVal, rtCHi)
+		em.Bind(costDone)
+		notBest := em.NewLabel()
+		em.BgeU(rtCost, rtBCost, notBest)
+		em.Mov(rtBCost, rtCost)
+		em.Mov(rtBest, rtChild)
+		em.Mov(rtBestC, rtCell)
+		em.Bind(notBest)
+		em.AddImm(rtJ, rtJ, 1)
+		em.Jmp(child)
+		em.Bind(childDone)
+		em.Mov(rtPC, rtBestC)
+		em.Mov(rtNd, rtBest)
+		em.Jmp(desc)
+		em.Bind(descDone)
+
+		em.Load64(rtCount, rtNd, offRCount)
+		split := em.NewLabel()
+		em.BgeU(rtCount, rtSix, split)
+		// Append: item slot first, count after.
+		em.ShlImm(rtTmp, rtCount, 3)
+		em.Add(rtSlot, rtNd, rtTmp)
+		em.Store64(rtVal, rtSlot, offREntry)
+		em.barrier(bAddr{rtSlot, offREntry})
+		em.AddImm(rtTmp, rtCount, 1)
+		em.Store64(rtTmp, rtNd, offRCount)
+		em.barrier(bAddr{rtNd, 0})
+		em.Jmp(vw)
+		em.Bind(split)
+
+		// Median split: read the six items, sort them with val, build two
+		// fresh leaves and an internal node off to the side.
+		for j := 0; j < rFanout; j++ {
+			em.Load64(rtS0+ir.Reg(j), rtNd, offREntry+uint64(j*8))
+		}
+		em.Mov(rtS6, rtVal)
+		em.SortNetwork([]ir.Reg{rtS0, rtS1, rtS2, rtS3, rtS4, rtS5, rtS6}, rtTmp)
+		em.AddImm(rtLB, rtNode, nodeStride)
+		em.AddImm(rtIN, rtNode, 2*nodeStride)
+		// leafA: items[0:3].
+		em.Store64(rtOne, rtNode, offRLeaf)
+		em.Const(rtTmp, 3)
+		em.Store64(rtTmp, rtNode, offRCount)
+		em.Store64(rtS0, rtNode, offRLo)
+		em.Store64(rtS2, rtNode, offRHi)
+		em.Store64(rtS0, rtNode, offREntry)
+		em.Store64(rtS1, rtNode, offREntry+8)
+		em.Store64(rtS2, rtNode, offREntry+16)
+		em.Store64(rtMagR, rtNode, offRMagic)
+		// leafB: items[3:7].
+		em.Store64(rtOne, rtLB, offRLeaf)
+		em.Const(rtTmp, 4)
+		em.Store64(rtTmp, rtLB, offRCount)
+		em.Store64(rtS3, rtLB, offRLo)
+		em.Store64(rtS6, rtLB, offRHi)
+		em.Store64(rtS3, rtLB, offREntry)
+		em.Store64(rtS4, rtLB, offREntry+8)
+		em.Store64(rtS5, rtLB, offREntry+16)
+		em.Store64(rtS6, rtLB, offREntry+24)
+		em.Store64(rtMagR, rtLB, offRMagic)
+		// Internal node over both.
+		em.Store64(regZero, rtIN, offRLeaf)
+		em.Const(rtTmp, 2)
+		em.Store64(rtTmp, rtIN, offRCount)
+		em.Store64(rtS0, rtIN, offRLo)
+		em.Store64(rtS6, rtIN, offRHi)
+		em.Store64(rtNode, rtIN, offREntry)
+		em.Store64(rtLB, rtIN, offREntry+8)
+		em.Store64(rtMagR, rtIN, offRMagic)
+		em.barrier(
+			bAddr{rtNode, 0}, bAddr{rtNode, memory.LineSize},
+			bAddr{rtLB, 0}, bAddr{rtLB, memory.LineSize},
+			bAddr{rtIN, 0}, bAddr{rtIN, memory.LineSize})
+		em.Store64(rtIN, rtPC, 0)
+		em.AndImm(rtLA, rtPC, ^uint64(memory.LineSize-1))
+		em.barrier(bAddr{rtLA, 0})
+		em.AddImm(rtNode, rtNode, 3*nodeStride)
+
+		em.Bind(vw)
+		em.volatileWork(rt.volWork(p))
+	})
+}
+
+var _ CompiledWorkload = (*RTree)(nil)

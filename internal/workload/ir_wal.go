@@ -1,0 +1,60 @@
+package workload
+
+import (
+	"bbb/internal/ir"
+	"bbb/internal/system"
+)
+
+const (
+	wlI   ir.Reg = iota // op index
+	wlOps               // OpsPerThread
+	wlRec               // record byte offset (i * LineSize)
+	wlSeq               // sequence number (i + 1)
+	wlSum               // checksum accumulator
+	wlTag               // per-thread tag constant
+	wlB0                // body words occupy wlB0 .. wlB0+4
+)
+
+const walBodyWords = 5
+
+// CompiledPrograms implements CompiledWorkload.
+func (w *WAL) CompiledPrograms(p Params) []system.CompiledProgram {
+	progs := make([]system.CompiledProgram, p.Threads)
+	for t := 0; t < p.Threads; t++ {
+		progs[t] = w.compile(p, t)
+	}
+	return progs
+}
+
+func (w *WAL) compile(p Params, t int) *ir.Prog {
+	em := newEmitter(p, t)
+	logs := uint64(w.logsBase[t])
+	tailA := uint64(w.header(t))
+	tag := uint64(t)<<32 | walMagic
+	em.Const(wlTag, tag)
+	return em.opLoop(wlI, wlOps, func() {
+		em.ShlImm(wlRec, wlI, 6) // records are one line apart
+		// Body words: draw and store interleaved, exactly the twin's loop.
+		for j := 0; j < walBodyWords; j++ {
+			em.Rand64(wlB0 + ir.Reg(j))
+			em.Store64(wlB0+ir.Reg(j), wlRec, logs+offWALBody+uint64(j*8))
+		}
+		em.AddImm(wlSeq, wlI, 1)
+		em.Store64(wlSeq, wlRec, logs+offWALSeq)
+		em.Store64(wlTag, wlRec, logs+offWALTag)
+		// walChecksum(seq, tag, body), term by term.
+		em.MulImm(wlSum, wlSeq, 0x9E3779B97F4A7C15)
+		em.XorImm(wlSum, wlSum, tag)
+		for j := 0; j < walBodyWords; j++ {
+			em.Xor(wlSum, wlSum, wlB0+ir.Reg(j))
+			em.MulImm(wlSum, wlSum, 0x100000001B3)
+		}
+		em.Store64(wlSum, wlRec, logs+offWALSum)
+		em.barrier(bAddr{wlRec, logs}) // record before tail (the WAL contract)
+		em.Store64(wlSeq, regZero, tailA)
+		em.barrier(bAddr{regZero, tailA})
+		em.volatileWork(w.volWork(p))
+	})
+}
+
+var _ CompiledWorkload = (*WAL)(nil)

@@ -1,0 +1,225 @@
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"bbb/internal/cpu"
+	"bbb/internal/engine"
+	"bbb/internal/ir"
+	"bbb/internal/memory"
+	"bbb/internal/palloc"
+)
+
+// TestIRTwinsPinned pins the contract the static analyzers depend on:
+// pressurelint and persistlint analyze the cpu.Env twins' source, so their
+// certificates (pressure_bounds.json battery sizings) are sound for the
+// compiled path only if every workload's IR emission performs the identical
+// machine-op sequence — same loads, stores, flushes, fences, epochs and
+// compute, same addresses, sizes and values, in the same order.
+//
+// Both twins execute functionally here (no engine, no caches): each thread
+// runs to completion against its path's copy of the post-Setup memory
+// image, so the comparison is a pure trace diff of the program logic under
+// all three persist-expansion modes.
+func TestIRTwinsPinned(t *testing.T) {
+	modes := []struct {
+		name string
+		cfg  ir.Config
+	}{
+		{"battery", ir.Config{}},
+		{"epoch", ir.Config{EpochMode: true}},
+		{"explicit", ir.Config{ExplicitPersist: true}},
+	}
+	for _, w := range append(Registry(), Extras()...) {
+		cw, ok := Compiled(w)
+		if !ok {
+			continue
+		}
+		for _, mode := range modes {
+			for _, seed := range []int64{1, 5} {
+				t.Run(fmt.Sprintf("%s/%s/seed%d", w.Name(), mode.name, seed), func(t *testing.T) {
+					p := Params{Threads: 4, OpsPerThread: 40, Seed: seed}
+
+					// Fresh instance per path: ByName-style construction so
+					// neither run sees the other's Go-side state.
+					layout := memory.DefaultLayout()
+					envMem := memory.New(layout)
+					cw.Setup(envMem, palloc.FromLayout(layout), p)
+					irMem := envMem.Clone()
+
+					progs := cw.Programs(p)
+					cprogs := cw.CompiledPrograms(p)
+					if len(progs) != p.Threads || len(cprogs) != p.Threads {
+						t.Fatalf("program counts: env %d, ir %d, want %d", len(progs), len(cprogs), p.Threads)
+					}
+
+					for th := 0; th < p.Threads; th++ {
+						envTrace := runEnvTwin(progs[th], th, envMem, mode.cfg)
+						irTrace := runIRTwin(t, cprogs[th], irMem, mode.cfg)
+						if len(envTrace) != len(irTrace) {
+							t.Fatalf("thread %d: env twin made %d machine ops, IR twin %d",
+								th, len(envTrace), len(irTrace))
+						}
+						for i := range envTrace {
+							if envTrace[i] != irTrace[i] {
+								t.Fatalf("thread %d diverges at machine op %d:\nenv: %+v\nir:  %+v",
+									th, i, envTrace[i], irTrace[i])
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// mop is one recorded machine operation; comparable, so trace diffing is a
+// plain != loop.
+type mop struct {
+	kind string
+	addr memory.Addr
+	size int
+	val  uint64 // store/CAS-new value, load result, compute cycles
+	old  uint64 // CAS expected
+}
+
+// funcMem gives both twins the same functional memory semantics: flat
+// little-endian reads and writes straight into a memory.Memory, no timing.
+type funcMem struct{ m *memory.Memory }
+
+func (f funcMem) load(a memory.Addr, size int) uint64 {
+	var b [8]byte
+	copy(b[:size], f.m.Peek(a, size))
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+func (f funcMem) store(a memory.Addr, size int, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	f.m.Poke(a, b[:size])
+}
+
+// recEnv is the cpu.Env recorder: it executes a goroutine twin's program
+// body inline (the program never blocks because every operation completes
+// immediately) and expands PersistBarrier/Flush/Fence with exactly
+// env.persistBarrier's mode logic.
+type recEnv struct {
+	funcMem
+	id    int
+	cfg   ir.Config
+	trace []mop
+}
+
+func (e *recEnv) CoreID() int { return e.id }
+
+func (e *recEnv) Load(addr memory.Addr, size int) uint64 {
+	v := e.load(addr, size)
+	e.trace = append(e.trace, mop{kind: "load", addr: addr, size: size, val: v})
+	return v
+}
+
+func (e *recEnv) Store(addr memory.Addr, size int, val uint64) {
+	e.store(addr, size, val)
+	e.trace = append(e.trace, mop{kind: "store", addr: addr, size: size, val: val})
+}
+
+func (e *recEnv) PersistBarrier(addrs ...memory.Addr) {
+	if e.cfg.EpochMode {
+		e.trace = append(e.trace, mop{kind: "epoch"})
+		return
+	}
+	if !e.cfg.ExplicitPersist {
+		return
+	}
+	for _, a := range addrs {
+		e.trace = append(e.trace, mop{kind: "flush", addr: a})
+	}
+	e.trace = append(e.trace, mop{kind: "fence"})
+}
+
+func (e *recEnv) Flush(addr memory.Addr) {
+	if e.cfg.ExplicitPersist {
+		e.trace = append(e.trace, mop{kind: "flush", addr: addr})
+	}
+}
+
+func (e *recEnv) Fence() {
+	if e.cfg.EpochMode {
+		e.trace = append(e.trace, mop{kind: "epoch"})
+		return
+	}
+	if e.cfg.ExplicitPersist {
+		e.trace = append(e.trace, mop{kind: "fence"})
+	}
+}
+
+func (e *recEnv) Compute(n engine.Cycle) {
+	if n == 0 {
+		return
+	}
+	e.trace = append(e.trace, mop{kind: "compute", val: uint64(n)})
+}
+
+func (e *recEnv) CompareAndSwap(addr memory.Addr, size int, old, new uint64) (uint64, bool) {
+	prev := e.load(addr, size)
+	if prev == old {
+		e.store(addr, size, new)
+	}
+	e.trace = append(e.trace, mop{kind: "cas", addr: addr, size: size, val: new, old: old})
+	return prev, prev == old
+}
+
+func runEnvTwin(prog func(cpu.Env), thread int, mem *memory.Memory, cfg ir.Config) []mop {
+	e := &recEnv{funcMem: funcMem{mem}, id: thread, cfg: cfg}
+	prog(e)
+	return e.trace
+}
+
+// runIRTwin drives the compiled program through the interpreter with the
+// same functional memory, recording the identical mop vocabulary.
+func runIRTwin(t *testing.T, p *ir.Prog, mem *memory.Memory, cfg ir.Config) []mop {
+	t.Helper()
+	f := funcMem{mem}
+	var it ir.Interp
+	it.Reset(p, cfg)
+	var trace []mop
+	var resume uint64
+	for step := 0; ; step++ {
+		if step > 10_000_000 {
+			t.Fatal("compiled program did not halt")
+		}
+		var act ir.Action
+		it.Next(resume, &act)
+		resume = 0
+		switch act.Kind {
+		case ir.ActionDone:
+			return trace
+		case ir.ActionLoad:
+			v := f.load(act.Addr, act.Size)
+			trace = append(trace, mop{kind: "load", addr: act.Addr, size: act.Size, val: v})
+			resume = v
+		case ir.ActionStore:
+			f.store(act.Addr, act.Size, act.Val)
+			trace = append(trace, mop{kind: "store", addr: act.Addr, size: act.Size, val: act.Val})
+		case ir.ActionFlush:
+			trace = append(trace, mop{kind: "flush", addr: act.Addr})
+		case ir.ActionFence:
+			trace = append(trace, mop{kind: "fence"})
+		case ir.ActionEpoch:
+			trace = append(trace, mop{kind: "epoch"})
+		case ir.ActionCompute:
+			trace = append(trace, mop{kind: "compute", val: uint64(act.Cycles)})
+		case ir.ActionCAS:
+			prev := f.load(act.Addr, act.Size)
+			if prev == act.Old {
+				f.store(act.Addr, act.Size, act.Val)
+			}
+			trace = append(trace, mop{kind: "cas", addr: act.Addr, size: act.Size, val: act.Val, old: act.Old})
+			resume = prev
+		default:
+			t.Fatalf("unknown action kind %d", act.Kind)
+		}
+	}
+}

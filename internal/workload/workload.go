@@ -167,18 +167,16 @@ func peek64(mem *memory.Memory, a memory.Addr) uint64 {
 
 // poke64 writes a little-endian uint64 into the durable image (setup only).
 func poke64(mem *memory.Memory, a memory.Addr, v uint64) {
-	b := make([]byte, 8)
-	for i := 0; i < 8; i++ {
-		b[i] = byte(v >> (8 * uint(i)))
-	}
-	mem.Poke(a, b)
+	mem.Poke64(a, v)
 }
 
 // barrier issues the scheme's persist barrier unless the workload was built
-// without them.
+// without them. It goes through cpu.PersistBarrier so the per-op variadic
+// address list stays on the stack instead of escaping through the interface
+// call.
 func barrier(e cpu.Env, p Params, addrs ...memory.Addr) {
 	if p.NoBarriers {
 		return
 	}
-	e.PersistBarrier(addrs...)
+	cpu.PersistBarrier(e, addrs...)
 }

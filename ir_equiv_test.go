@@ -1,0 +1,116 @@
+package bbb
+
+import (
+	"reflect"
+	"testing"
+
+	"bbb/internal/crashmc"
+	"bbb/internal/engine"
+	"bbb/internal/persistency"
+	"bbb/internal/workload"
+)
+
+// compiledNames returns every registered workload that carries a compiled
+// twin — the Table IV rows plus the linked list and WAL extras. The count is
+// pinned so a workload silently losing its CompiledPrograms implementation
+// (and thereby dropping out of the ir-equiv gate) fails loudly.
+func compiledNames(t *testing.T) []string {
+	t.Helper()
+	var names []string
+	for _, w := range append(workload.Registry(), workload.Extras()...) {
+		if _, ok := workload.Compiled(w); ok {
+			names = append(names, w.Name())
+		}
+	}
+	if len(names) != 9 {
+		t.Fatalf("compiled workloads = %v (%d), want the 9 ported Table IV+extras rows", names, len(names))
+	}
+	return names
+}
+
+// TestIREquivalenceMatrix is the tentpole's acceptance gate (`make
+// ir-equiv`): for every compiled workload under every scheme and three
+// seeds, the compiled-IR path must produce a system.Result deep-equal to
+// the goroutine path's — stats, metrics, cycle counts, everything. The two
+// paths share no execution machinery above the core's request dispatch, so
+// equality here means the IR emission, the interpreter, and the inline
+// core driver reproduce the goroutine twins' machine-action streams
+// exactly.
+func TestIREquivalenceMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload x scheme x seed matrix")
+	}
+	for _, name := range compiledNames(t) {
+		for _, s := range persistency.Schemes() {
+			for _, seed := range []int64{1, 2, 3} {
+				o := scaled(60)
+				o.Seed = seed
+				got := MustRunCompiled(name, s, o)
+				want := MustRun(name, s, o)
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s/%s seed %d: compiled result diverged from goroutine result\ncompiled:  %+v\ngoroutine: %+v",
+						name, s, seed, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestIRCrashEquivalence extends the gate to crash injection: stopping both
+// paths at the same mid-run cycle and capturing the crash-image record
+// through the crashmc recorder must yield identical records — same pending
+// persistence-domain writes (address, data, class, epoch, order), same
+// deterministic drain, same base NVMM image. This is what lets crashmc
+// campaigns and the litmus conformance harness move to the compiled path
+// without re-validating their reachable spaces.
+func TestIRCrashEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash matrix")
+	}
+	// PMEM and BEP exercise the two nonempty pending-write classes; BBB
+	// covers the flush-on-fail schemes (whose records reduce to the base
+	// image, making this mostly an NVMM-image comparison).
+	schemes := []Scheme{persistency.PMEM, persistency.BEP, persistency.BBB}
+	for _, name := range []string{"hashmap", "rtree", "wal"} {
+		for _, s := range schemes {
+			for _, crashAt := range []engine.Cycle{2_000, 7_500} {
+				o := scaled(80)
+				cfg, p := o.sysConfig(s), o.params()
+
+				w, err := workload.ByName(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gsys, gfin := workload.BuildToCrash(w, s, cfg, p, crashAt)
+				grec := crashmc.Capture(gsys, crashAt, gfin)
+
+				cw, ok := workload.Compiled(mustByName(t, name))
+				if !ok {
+					t.Fatalf("%s lost its compiled twin", name)
+				}
+				csys, cfin := workload.BuildToCrashCompiled(cw, s, cfg, p, crashAt)
+				crec := crashmc.Capture(csys, crashAt, cfin)
+
+				if gfin != cfin {
+					t.Errorf("%s/%s @%d: finished mismatch: goroutine %v, compiled %v", name, s, crashAt, gfin, cfin)
+					continue
+				}
+				if !reflect.DeepEqual(grec, crec) {
+					t.Errorf("%s/%s @%d: crash records diverged\ngoroutine: %+v\ncompiled:  %+v",
+						name, s, crashAt, grec, crec)
+				}
+			}
+		}
+	}
+}
+
+// mustByName fetches a fresh workload instance (ByName constructs anew per
+// call, which the two-path comparisons rely on for independent state).
+func mustByName(t *testing.T, name string) workload.Workload {
+	t.Helper()
+	w, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
