@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race invariant fuzz-short mc-short litmus-short pressure-short trace-smoke ir-equiv check bench-json bench-profile
+.PHONY: all build test vet race invariant fuzz-short mc-short litmus-short pressure-short kv-short trace-smoke ir-equiv check bench-json bench-profile
 
 all: check
 
@@ -34,8 +34,8 @@ invariant:
 # record them as the next BENCH_<n>.json. Non-gating; CI uploads the file
 # as an artifact so regressions are visible across PRs.
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkIRThroughput|BenchmarkIRInterpreter|BenchmarkFig7aExecutionTime|BenchmarkEngineKernel|BenchmarkCrashMCEnumerate|BenchmarkAxiomaticEnumerate|BenchmarkTraceOverhead|BenchmarkPressureLint' \
-		-benchmem . ./internal/engine ./internal/ir ./internal/crashmc ./internal/axiomatic ./internal/trace ./internal/vet/pressurelint \
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkIRThroughput|BenchmarkIRInterpreter|BenchmarkFig7aExecutionTime|BenchmarkEngineKernel|BenchmarkCrashMCEnumerate|BenchmarkAxiomaticEnumerate|BenchmarkTraceOverhead|BenchmarkPressureLint|BenchmarkKVService|BenchmarkPDSQueue' \
+		-benchmem . ./internal/engine ./internal/ir ./internal/crashmc ./internal/axiomatic ./internal/trace ./internal/vet/pressurelint ./internal/kvservice ./internal/pds \
 		| $(GO) run ./cmd/benchjson > BENCH_$$(ls BENCH_*.json 2>/dev/null | wc -l).json
 	@ls BENCH_*.json | tail -1
 
@@ -85,6 +85,21 @@ mc-short:
 pressure-short:
 	$(GO) test -count=1 ./internal/vet/pressurelint/conform
 
+# Service-tier gate: the pds structures and the KV service must complete,
+# recover and replay-check under the scheme matrix (their package tests),
+# the tier must be persistlint- and detlint-clean with zero persistlint
+# suppressions (statlint needs the whole program and runs under `vet`),
+# and bbbkv must produce the scheme latency table end to end.
+kv-short:
+	$(GO) test -count=1 ./internal/pds ./internal/kvservice
+	$(GO) run ./cmd/bbbvet -only persistlint ./internal/pds ./internal/kvservice
+	$(GO) run ./cmd/bbbvet -only detlint ./internal/pds ./internal/kvservice
+	@if grep -rn 'bbbvet:ignore persistlint' internal/pds internal/kvservice; then \
+		echo "kv-short: FAIL: persistlint suppression in the pds/kvservice tier"; exit 1; fi
+	$(GO) run ./cmd/bbbkv -scheme pmem,bbb -clients 2 -ops 120 | grep -q '^kv ' \
+		|| { echo "kv-short: FAIL: bbbkv produced no kv row"; exit 1; }
+	@echo "kv-short: ok"
+
 # Px86-TSO conformance at short bounds: for every litmus test × scheme,
 # the crashmc-reachable outcome set must sit inside the axiomatic allowed
 # set, with the battery schemes collapsed to a single image per crash
@@ -100,4 +115,4 @@ ir-equiv:
 	$(GO) test -count=1 -run 'TestIR' . ./internal/workload
 
 # Tier-1.5: everything above.
-check: build test vet race invariant mc-short litmus-short pressure-short trace-smoke ir-equiv
+check: build test vet race invariant mc-short litmus-short pressure-short kv-short trace-smoke ir-equiv

@@ -36,6 +36,10 @@ import (
 	"bbb/internal/system"
 	"bbb/internal/trace"
 	"bbb/internal/workload"
+
+	// Registers the pds crash workloads and the KV service tier with the
+	// workload registry, so every driver resolves them by name.
+	_ "bbb/internal/kvservice"
 )
 
 // Scheme selects a persistency scheme.
@@ -101,6 +105,13 @@ type Options struct {
 	// memory-consistency case, where program-order persistency rests on
 	// the battery-backed store buffer alone.
 	RelaxedConsistency bool
+	// Clients overrides Threads for the service-tier workloads ("kv",
+	// "kv/uniform"): one client per core. Zero defers to Threads.
+	Clients int
+	// BatchWindow is the service tier's request-batching window in cycles
+	// (how long a client holds a batch open before the durable commit).
+	// Zero uses the workload default.
+	BatchWindow Cycle
 	// Parallelism bounds how many independent simulations the experiment
 	// drivers (RunFig7, RunFig8, RunTable4, the ablations, seed sweeps and
 	// crash campaigns) may run concurrently. Every sweep point runs on its
@@ -132,6 +143,10 @@ func (o Options) params() workload.Params {
 		p.Seed = o.Seed
 	}
 	p.NoBarriers = o.NoBarriers
+	if o.Clients > 0 {
+		p.Threads = o.Clients
+	}
+	p.BatchWindow = o.BatchWindow
 	return p
 }
 

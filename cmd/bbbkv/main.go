@@ -1,0 +1,116 @@
+// Command bbbkv drives the multi-client KV service tier
+// (internal/kvservice) across persistency schemes and reports the
+// service-level numbers the scheme comparison turns on: throughput and the
+// request-latency percentiles. Where bbbsim reports what the machine did
+// (cycles, drains, NVMM writes), bbbkv reports what a client of the
+// service would feel — the paper's argument lands as a tail-latency gap
+// between BBB and the explicit-flush PMEM baseline at the same offered
+// load.
+//
+// The -workload and -scheme flags accept comma-separated lists; the cross
+// product fans out over -parallel concurrent simulations (internal/sweep),
+// and rows print in (workload, scheme) order regardless of parallelism.
+//
+// Usage:
+//
+//	bbbkv
+//	bbbkv -scheme pmem,bbb -clients 8 -ops 500
+//	bbbkv -workload kv/uniform -batch-window 1200
+//	bbbkv -scheme bbb -verbose
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strings"
+
+	"bbb"
+	"bbb/internal/stats"
+	"bbb/internal/sweep"
+)
+
+type combo struct {
+	workload string
+	scheme   bbb.Scheme
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bbbkv: ")
+	var (
+		wl       = flag.String("workload", "kv", "service workload (comma-separated list fans out): kv (zipfian keys), kv/uniform")
+		scheme   = flag.String("scheme", "pmem,eadr,bbb,bbb-proc,bep,nvcache", "persistency scheme (comma-separated list fans out)")
+		clients  = flag.Int("clients", 4, "concurrent service clients (one core each)")
+		ops      = flag.Int("ops", 400, "requests per client")
+		window   = flag.Int64("batch-window", 0, "request-batching window in cycles (0 = workload default)")
+		seed     = flag.Int64("seed", 1, "schedule RNG seed")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulations for workload/scheme lists (1 = serial; output is identical either way)")
+		verbose  = flag.Bool("verbose", false, "dump every kv.* histogram per run")
+	)
+	flag.Parse()
+
+	var combos []combo
+	for _, w := range strings.Split(*wl, ",") {
+		for _, name := range strings.Split(*scheme, ",") {
+			s, err := bbb.ParseScheme(strings.TrimSpace(name))
+			if err != nil {
+				log.Fatal(err)
+			}
+			combos = append(combos, combo{strings.TrimSpace(w), s})
+		}
+	}
+
+	o := bbb.Options{
+		Clients:      *clients,
+		OpsPerThread: *ops,
+		Seed:         *seed,
+		BatchWindow:  bbb.Cycle(*window),
+	}
+
+	type outcome struct {
+		res bbb.Result
+		err error
+	}
+	results := sweep.Map(*parallel, len(combos), func(i int) outcome {
+		r, err := bbb.Run(combos[i].workload, combos[i].scheme, o)
+		return outcome{r, err}
+	})
+
+	fmt.Printf("%d clients x %d requests, batch window %s, seed %d\n\n",
+		*clients, *ops, windowLabel(*window), *seed)
+	fmt.Printf("%-12s %-9s %10s %9s %9s %9s %9s %7s %9s\n",
+		"workload", "scheme", "cycles", "kreq/s", "lat p50", "lat p95", "lat p99", "batch", "queue p50")
+	for i, out := range results {
+		if out.err != nil {
+			log.Fatal(out.err)
+		}
+		c := combos[i]
+		res := out.res
+		if res.Metrics == nil || res.Metrics.Hist("kv.lat") == nil {
+			log.Fatalf("%s is not a service workload (no kv.lat histogram); bbbkv drives kv and kv/uniform", c.workload)
+		}
+		lat := res.Metrics.Hist("kv.lat")
+		reqs := float64(*clients * *ops)
+		// Cycles are 2 GHz (Table III), so kreq/s = reqs / (cycles/2e9) / 1e3.
+		kreqs := reqs / (float64(res.Cycles) / 2e9) / 1e3
+		fmt.Printf("%-12s %-9s %10d %9.0f %9.0f %9.0f %9.0f %7.1f %9.0f\n",
+			c.workload, c.scheme, res.Cycles, kreqs,
+			lat.P50(), lat.Quantile(0.95), lat.P99(),
+			res.Metrics.Hist("kv.batch_size").Mean(),
+			res.Metrics.Hist("kv.queue_delay").P50())
+		if *verbose {
+			fmt.Fprint(os.Stdout, res.Metrics.StringWith(stats.Glossary))
+			fmt.Println()
+		}
+	}
+}
+
+func windowLabel(w int64) string {
+	if w == 0 {
+		return "default"
+	}
+	return fmt.Sprintf("%d cycles", w)
+}

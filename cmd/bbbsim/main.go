@@ -43,6 +43,8 @@ func main() {
 		entries    = flag.Int("entries", 32, "bbPB entries per core")
 		threshold  = flag.Float64("threshold", 0.75, "bbPB drain occupancy threshold")
 		noBarriers = flag.Bool("no-barriers", false, "omit persist barriers (the Figure 2 variant)")
+		clients    = flag.Int("clients", 0, "override -threads for the service-tier workloads (kv, kv/uniform)")
+		window     = flag.Int64("batch-window", 0, "service-tier request-batching window in cycles (0 = workload default)")
 		seed       = flag.Int64("seed", 1, "workload RNG seed")
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulations for workload/scheme lists (1 = serial; output is identical either way)")
 		verbose    = flag.Bool("verbose", false, "dump all component counters")
@@ -98,6 +100,8 @@ func main() {
 		DrainThreshold: *threshold,
 		NoBarriers:     *noBarriers,
 		Seed:           *seed,
+		Clients:        *clients,
+		BatchWindow:    bbb.Cycle(*window),
 	}
 
 	if *check || *traceN > 0 || *traceOut != "" {
@@ -171,7 +175,11 @@ func main() {
 }
 
 func printResult(c combo, o bbb.Options, res bbb.Result, verbose bool) {
-	fmt.Printf("workload            %s (%d threads x %d ops)\n", c.workload, o.Threads, o.OpsPerThread)
+	threads := o.Threads
+	if o.Clients > 0 {
+		threads = o.Clients
+	}
+	fmt.Printf("workload            %s (%d threads x %d ops)\n", c.workload, threads, o.OpsPerThread)
 	fmt.Printf("scheme              %s\n", c.scheme)
 	fmt.Printf("execution cycles    %d (%.3f ms at 2 GHz)\n", res.Cycles, float64(res.Cycles)/2e6)
 	fmt.Printf("stores              %d (%d persisting, %.1f%%)\n",

@@ -28,9 +28,13 @@
 //     battery-backed claim that durability tracks TSO visibility.
 //
 // The crash outcome of (M, P) assigns each variable the value of the
-// M-latest persisted store to it, or the zero init. Enumerate returns the
-// deduplicated outcome set, sorted, so operational ⊆ allowed becomes a
-// subset check (internal/litmus/conform).
+// M-latest persisted store to it, or the zero init. CAS events are
+// conditional stores: whether a CAS writes depends on the variable's value
+// at its point in M, so the enumerator replays values along each memory
+// order and drops failed CASes from the persist set — a failed CAS writes
+// nothing, under every model. Enumerate returns the deduplicated outcome
+// set, sorted, so operational ⊆ allowed becomes a subset check
+// (internal/litmus/conform).
 package axiomatic
 
 import (
@@ -185,12 +189,20 @@ func Enumerate(t *litmus.Test, m Model) Result {
 	res := Result{Test: t.Name, Model: m}
 	var outcomes []Outcome
 	order := make([]litmus.Store, 0, len(stores))
+	cur := make([]uint64, len(t.Vars))
 
-	emit := func(order []litmus.Store, mask uint32) {
+	// emit records the outcome of persist set mask under memory order M.
+	// active masks out the CAS events that failed in this M — a failed
+	// CAS writes nothing, so "persisting" it is a no-op. Masking at emit
+	// time is exact: the durably-ordered-before and epoch relations are
+	// positional, so any mask the precompute rejects for omitting a
+	// failed CAS has a twin that includes the (vacuous) event and yields
+	// the same outcome.
+	emit := func(order []litmus.Store, mask, active uint32) {
 		res.Executions++
 		o := make(Outcome, len(t.Vars))
 		for _, s := range order {
-			if mask&(1<<uint(s.ID)) != 0 {
+			if mask&active&(1<<uint(s.ID)) != 0 {
 				o[s.Var] = s.Val
 			}
 		}
@@ -214,19 +226,33 @@ func Enumerate(t *litmus.Test, m Model) Result {
 		if !done {
 			return
 		}
-		// One complete memory order M: apply the model's persist rule.
+		// One complete memory order M. Replay values along M to decide
+		// which CAS events succeed (a CAS writes iff its var holds its
+		// expected value at its point in M), then apply the model's
+		// persist rule to the stores that actually wrote.
+		var active uint32
+		for i := range cur {
+			cur[i] = 0
+		}
+		for _, s := range order {
+			if s.CAS && cur[s.Var] != s.Old {
+				continue
+			}
+			active |= 1 << uint(s.ID)
+			cur[s.Var] = s.Val
+		}
 		if m == Strict {
 			// P ranges over prefixes of M.
 			var mask uint32
-			emit(order, 0)
+			emit(order, 0, active)
 			for _, s := range order {
 				mask |= 1 << uint(s.ID)
-				emit(order, mask)
+				emit(order, mask, active)
 			}
 			return
 		}
 		for _, mask := range legal {
-			emit(order, mask)
+			emit(order, mask, active)
 		}
 	}
 	walk()

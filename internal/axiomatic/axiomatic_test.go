@@ -52,6 +52,24 @@ func TestGoldenOutcomeCounts(t *testing.T) {
 		// which cannot persist a thread's second store alone (drops
 		// (x=2,y=0) and (x=0,y=2)).
 		{"2+2w", 9, 9, 7},
+		// CAS flag publish, unfenced: the CAS always succeeds (y starts
+		// 0), so the counts match bare mp — a CAS is not a persist fence.
+		{"cas-mp", 4, 4, 3},
+		// clwb x; sfence; CAS flag: the three prefix outcomes under every
+		// model, like mp+fence.
+		{"cas-mp+fence", 3, 3, 3},
+		// x=1; CAS x 5→7 (always fails); y=1: the failed CAS writes
+		// nothing, so x∈{0,1} × y∈{0,1} = 4 relaxed (7 never appears)
+		// and the three prefixes {}, {x}, {x,y} under strict.
+		{"cas-fail", 4, 4, 3},
+		// CAS x 0→1 ∥ CAS x 1→2: x=2 needs the memory order where
+		// thread 0 lands first; x ∈ {0,1,2} under every model.
+		{"cas-chain", 3, 3, 3},
+		// CAS x 0→1; y=1 ∥ CAS x 0→2; z=1: exactly one CAS succeeds per
+		// order, so relaxed sees x∈{0,1,2} × y∈{0,1} × z∈{0,1} = 12;
+		// strict demands the winning CAS precede either flag (x=0 forces
+		// y=z=0), leaving the zero outcome plus 4 each for x=1 and x=2.
+		{"cas-race", 12, 12, 9},
 	}
 	for _, c := range cases {
 		tst := mustTest(t, c.name)
@@ -94,6 +112,51 @@ func TestModelSeparation(t *testing.T) {
 	}
 	if Enumerate(w22, Strict).Contains(secondAlone) {
 		t.Error("2+2w/strict must forbid a second store persisting before its predecessor")
+	}
+}
+
+// TestCASConditionalStore pins the CAS semantics the enumerator must
+// model: a failed CAS writes nothing under any model, and a CAS chain's
+// final value is reachable only through the order that satisfies its
+// expectation.
+func TestCASConditionalStore(t *testing.T) {
+	fail := mustTest(t, "cas-fail")
+	for _, m := range Models() {
+		r := Enumerate(fail, m)
+		for _, o := range r.Outcomes {
+			if o[0] == 7 {
+				t.Errorf("cas-fail/%s: allowed x=7, but the CAS's expectation (5) never matches", m)
+			}
+		}
+	}
+
+	chain := mustTest(t, "cas-chain")
+	for _, m := range Models() {
+		r := Enumerate(chain, m)
+		for _, want := range []Outcome{{0}, {1}, {2}} {
+			if !r.Contains(want) {
+				t.Errorf("cas-chain/%s: missing outcome x=%d", m, want[0])
+			}
+		}
+	}
+
+	race := mustTest(t, "cas-race")
+	orphanFlag := Outcome{0, 1, 0} // y durable while x still 0
+	if !Enumerate(race, Relaxed).Contains(orphanFlag) {
+		t.Error("cas-race/relaxed must allow a flag without the winning CAS")
+	}
+	if Enumerate(race, Strict).Contains(orphanFlag) {
+		t.Error("cas-race/strict must forbid a flag persisting before the CAS that precedes it")
+	}
+	for _, o := range Enumerate(race, Relaxed).Outcomes {
+		if o[1] == 1 && o[2] == 1 && o[0] == 0 {
+			// Both flags may be durable with x lost — fine under relaxed;
+			// just assert x never holds a value no execution wrote.
+			continue
+		}
+		if o[0] > 2 {
+			t.Errorf("cas-race/relaxed: fabricated x=%d", o[0])
+		}
 	}
 }
 

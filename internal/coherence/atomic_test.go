@@ -59,13 +59,17 @@ func TestCASFiresPersistHooks(t *testing.T) {
 	if len(p.commits) != 1 {
 		t.Fatalf("commits = %v, want the successful CAS", p.commits)
 	}
-	r.cas(t, 0, a, 0, 9) // failure: no store, no commit
-	if len(p.commits) != 1 {
-		t.Fatal("failed CAS fired CommitStore")
+	// Failure: no store commits, but the line is still handed to the
+	// policy — the RFO migrated any persist-buffer entry away from the
+	// previous owner, and the failed CAS must keep the line in the
+	// persistence domain (unchanged data).
+	r.cas(t, 0, a, 0, 9)
+	if len(p.commits) != 2 {
+		t.Fatalf("commits = %v, want the failed CAS to re-commit the line", p.commits)
 	}
 	// DRAM CAS never commits to the persist domain.
 	r.cas(t, 0, r.dr(42), 0, 1)
-	if len(p.commits) != 1 {
+	if len(p.commits) != 2 {
 		t.Fatal("DRAM CAS fired CommitStore")
 	}
 }

@@ -436,6 +436,17 @@ func (h *Hierarchy) commit(t *accessTxn) {
 				h.eng.EmitTrace(trace.KindStoreCommit, t.core, t.la, t.val)
 				h.policy.CommitStore(t.core, t.la, &t.line.Data)
 			}
+		} else if t.persistent {
+			// The RFO already fired OnRemoteInvalidate, which migrates the
+			// line's persist-buffer entry away from the previous owner on
+			// the promise that this core's CommitStore re-inserts the
+			// merged data. A failed CAS commits no store, but the promise
+			// must still be kept: hand the unchanged line back to the
+			// policy, or a visible-but-undrained store would silently
+			// leave the persistence domain (fatal under the battery
+			// schemes, whose caches are volatile). The CanAcceptStore
+			// check above reserved the slot either way.
+			h.policy.CommitStore(t.core, t.la, &t.line.Data)
 		}
 		h.eng.Schedule(t.lat+2, t.finishFn)
 

@@ -212,6 +212,12 @@ func (c *Core) FinishedAt() engine.Cycle { return c.finished }
 // Start launches the workload goroutine and schedules the core's first
 // instruction fetch. run is executed on its own goroutine against the
 // core's Env and must use only that Env to touch simulated memory.
+//
+// The goroutine does not run immediately: it blocks until the core's
+// cycle-0 fetch event sends the initial resume, entering the same
+// resume→request rendezvous every later instruction follows. Releasing it
+// eagerly would let the program race the event loop (and read a torn
+// Env.Now) in the window before its first request reaches the engine.
 func (c *Core) Start(run func(Env)) {
 	e := &env{core: c}
 	go func() {
@@ -223,10 +229,15 @@ func (c *Core) Start(run func(Env)) {
 				panic(r)
 			}
 		}()
+		select {
+		case <-c.resume:
+		case <-c.quit:
+			return // torn down before the engine ever ran this core
+		}
 		run(e)
 		e.do(request{kind: reqDone})
 	}()
-	c.eng.Schedule(0, c.fetchFn)
+	c.eng.Schedule(0, c.reply0)
 }
 
 // StartCompiled schedules a compiled program on the core. The interpreter

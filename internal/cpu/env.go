@@ -48,6 +48,10 @@ type Env interface {
 	// whether the swap happened. A successful swap on a persistent line is
 	// a persisting store — on BBB it is durable the moment it commits.
 	CompareAndSwap(addr memory.Addr, size int, old, new uint64) (prev uint64, swapped bool)
+	// Now reads the core's cycle clock (rdtsc). It costs no simulated
+	// time: service-level workloads use it to timestamp request arrival
+	// and completion without perturbing the schedule they measure.
+	Now() engine.Cycle
 }
 
 type env struct {
@@ -132,6 +136,15 @@ func (e *env) CompareAndSwap(addr memory.Addr, size int, old, new uint64) (uint6
 	prev := e.do(request{kind: reqCAS, addr: addr, size: size, old: old, val: new})
 	return prev, prev == old
 }
+
+// Now reads the engine clock without a machine round-trip. This is safe and
+// deterministic under the rendezvous discipline: a program goroutine only
+// runs between its resume and its next request (Core.Start holds it at the
+// initial resume too, so this covers the first instruction), and during
+// that window the engine is blocked in this core's same-timestamp fetch
+// event, so the clock cannot advance (and the resume/request channel pair
+// orders the accesses).
+func (e *env) Now() engine.Cycle { return e.core.eng.Now() }
 
 // Load64 is a convenience for pointer-sized loads.
 func Load64(e Env, addr memory.Addr) uint64 { return e.Load(addr, 8) }

@@ -1,0 +1,26 @@
+package kvservice_test
+
+import (
+	"testing"
+
+	"bbb/internal/persistency"
+	"bbb/internal/system"
+	"bbb/internal/workload"
+)
+
+// BenchmarkKVService measures service-tier simulation throughput
+// (simulated requests per wall second) — the cost of running the full
+// batching KV pipeline, pds structures included, through the machine.
+// bench-json tracks it across commits.
+func BenchmarkKVService(b *testing.B) {
+	var reqs uint64
+	for i := 0; i < b.N; i++ {
+		w, err := workload.ByName("kv")
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := workload.Run(w, persistency.BBB, system.DefaultConfig(persistency.BBB), params(4, 200))
+		reqs += res.Metrics.Hist("kv.lat").Count()
+	}
+	b.ReportMetric(float64(reqs)/b.Elapsed().Seconds(), "sim_reqs/s")
+}

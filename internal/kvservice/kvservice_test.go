@@ -1,0 +1,118 @@
+package kvservice_test
+
+import (
+	"reflect"
+	"testing"
+
+	"bbb/internal/engine"
+	"bbb/internal/memory"
+	"bbb/internal/persistency"
+	"bbb/internal/system"
+	"bbb/internal/workload"
+)
+
+func params(threads, ops int) workload.Params {
+	p := workload.DefaultParams()
+	p.Threads = threads
+	p.OpsPerThread = ops
+	return p
+}
+
+// completer is the exact-replay checker the kv workloads implement beyond
+// the Workload interface.
+type completer interface {
+	CheckComplete(mem *memory.Memory) error
+}
+
+// TestServiceCompleteAndCheck runs both request mixes to completion under
+// representative schemes and replays the schedule against the recovered
+// shards, index and oplog. PMEM and BBB make every fenced operation durable,
+// so the image must equal the full replay; BEP's epoch buffers are volatile
+// and legally lose trailing epochs at the crash, so only the prefix
+// invariants of Check apply.
+func TestServiceCompleteAndCheck(t *testing.T) {
+	for _, name := range []string{"kv", "kv/uniform"} {
+		for _, s := range []persistency.Scheme{persistency.PMEM, persistency.BBB, persistency.BEP} {
+			t.Run(name+"/"+s.String(), func(t *testing.T) {
+				w, err := workload.ByName(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sys, progs := workload.Build(w, s, system.DefaultConfig(s), params(3, 60))
+				defer sys.Shutdown()
+				sys.Run(progs)
+				sys.Crash() // flush-on-fail: settle the durable image
+				check := w.Check
+				if s != persistency.BEP {
+					check = w.(completer).CheckComplete
+				}
+				if err := check(sys.Mem); err != nil {
+					t.Fatalf("replay check: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestServiceMetrics pins the Glossary contract: a service run surfaces
+// every kv.* histogram through Result.Metrics.
+func TestServiceMetrics(t *testing.T) {
+	w, err := workload.ByName("kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := workload.Run(w, persistency.BBB, system.DefaultConfig(persistency.BBB), params(4, 120))
+	if res.Metrics == nil {
+		t.Fatal("service run returned nil Metrics")
+	}
+	for _, name := range []string{
+		"kv.lat", "kv.lat.put", "kv.lat.get", "kv.lat.delete", "kv.lat.scan",
+		"kv.batch_size", "kv.queue_delay",
+	} {
+		h := res.Metrics.Hist(name)
+		if h == nil {
+			t.Fatalf("histogram %q missing from Result.Metrics", name)
+		}
+		if h.Count() == 0 {
+			t.Fatalf("histogram %q observed nothing", name)
+		}
+	}
+	if got, want := res.Metrics.Hist("kv.lat").Count(), uint64(4*120); got != want {
+		t.Fatalf("kv.lat holds %d samples, want one per request (%d)", got, want)
+	}
+}
+
+// TestServiceDeterministic pins that a service run is a pure function of
+// its parameters, metrics included.
+func TestServiceDeterministic(t *testing.T) {
+	run := func() system.Result {
+		w, err := workload.ByName("kv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return workload.Run(w, persistency.BBB, system.DefaultConfig(persistency.BBB), params(3, 80))
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two identical service runs diverge:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestBatchWindowKnob pins Params.BatchWindow: a wider window forms larger
+// batches.
+func TestBatchWindowKnob(t *testing.T) {
+	runWith := func(window engine.Cycle) float64 {
+		w, err := workload.ByName("kv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := params(2, 100)
+		p.BatchWindow = window
+		res := workload.Run(w, persistency.BBB, system.DefaultConfig(persistency.BBB), p)
+		return res.Metrics.Hist("kv.batch_size").Mean()
+	}
+	narrow, wide := runWith(50), runWith(4000)
+	if wide <= narrow {
+		t.Fatalf("batch window has no effect: mean batch %f (window 50) vs %f (window 4000)", narrow, wide)
+	}
+}

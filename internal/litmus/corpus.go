@@ -152,6 +152,50 @@ func Corpus() []*Test {
 				{St(vx, 1), Fl(vx), Fn(), St(vx, 2), Fl(vx), Fn(), St(vy, 1)},
 			},
 		},
+		{
+			Name: "cas-mp",
+			Doc:  "message passing with a CAS flag, unfenced: the CAS always succeeds (y starts 0) but is no persist fence, so relaxed still allows flag-without-payload",
+			Vars: []string{"x", "y"},
+			Threads: [][]Op{
+				{St(vx, 1), Cs(vy, 0, 1)},
+				{Ld(vy), Ld(vx)},
+			},
+		},
+		{
+			Name: "cas-mp+fence",
+			Doc:  "message passing publishing via clwb x; sfence; CAS flag — the pds commit discipline: flag durable implies payload durable under every model",
+			Vars: []string{"x", "y"},
+			Threads: [][]Op{
+				{St(vx, 1), Fl(vx), Fn(), Cs(vy, 0, 1)},
+				{Ld(vy), Ld(vx)},
+			},
+		},
+		{
+			Name: "cas-fail",
+			Doc:  "a CAS whose expectation never matches (x holds 1, the CAS expects 5): a failed CAS writes nothing, so 7 must appear in no model's outcome set",
+			Vars: []string{"x", "y"},
+			Threads: [][]Op{
+				{St(vx, 1), Cs(vx, 5, 7), St(vy, 1)},
+			},
+		},
+		{
+			Name: "cas-chain",
+			Doc:  "cross-thread increment chain: thread 1's CAS expects thread 0's new value, so x=2 is reachable only in memory orders where thread 0's CAS lands first",
+			Vars: []string{"x"},
+			Threads: [][]Op{
+				{Cs(vx, 0, 1)},
+				{Cs(vx, 1, 2)},
+			},
+		},
+		{
+			Name: "cas-race",
+			Doc:  "two threads race a CAS on x from 0, then store a private flag: exactly one CAS succeeds per memory order; strict forbids any flag durable while x is still 0",
+			Vars: []string{"x", "y", "z"},
+			Threads: [][]Op{
+				{Cs(vx, 0, 1), St(vy, 1)},
+				{Cs(vx, 0, 2), St(vz, 1)},
+			},
+		},
 	}
 	for _, t := range tests {
 		if err := t.Validate(); err != nil {

@@ -37,6 +37,13 @@ const (
 	// OpFence orders earlier flushed lines before later stores (sfence
 	// under PMEM, epoch boundary under BEP, no-op under the batteries).
 	OpFence
+	// OpCAS atomically writes Val to Var iff Var currently holds Old
+	// (lock cmpxchg). A failed CAS writes nothing — its store event is
+	// conditional on the memory order, which is the whole point of the
+	// cas corpus shapes. Like the hardware instruction, a CAS drains the
+	// store buffer but is NOT a persist fence: it neither flushes its
+	// line nor orders earlier flushes.
+	OpCAS
 )
 
 func (k OpKind) String() string {
@@ -49,6 +56,8 @@ func (k OpKind) String() string {
 		return "flush"
 	case OpFence:
 		return "fence"
+	case OpCAS:
+		return "cas"
 	default:
 		return fmt.Sprintf("OpKind(%d)", uint8(k))
 	}
@@ -58,14 +67,17 @@ func (k OpKind) String() string {
 type Op struct {
 	Kind OpKind
 	Var  int
-	Val  uint64 // OpStore only
+	Val  uint64 // OpStore and OpCAS: the (new) value written
+	Old  uint64 // OpCAS only: the expected value
 }
 
-// St, Ld, Fl and Fn build ops; the corpus reads like the litmus literature.
-func St(v int, val uint64) Op { return Op{Kind: OpStore, Var: v, Val: val} }
-func Ld(v int) Op             { return Op{Kind: OpLoad, Var: v} }
-func Fl(v int) Op             { return Op{Kind: OpFlush, Var: v} }
-func Fn() Op                  { return Op{Kind: OpFence, Var: -1} }
+// St, Ld, Fl, Fn and Cs build ops; the corpus reads like the litmus
+// literature.
+func St(v int, val uint64) Op      { return Op{Kind: OpStore, Var: v, Val: val} }
+func Ld(v int) Op                  { return Op{Kind: OpLoad, Var: v} }
+func Fl(v int) Op                  { return Op{Kind: OpFlush, Var: v} }
+func Fn() Op                       { return Op{Kind: OpFence, Var: -1} }
+func Cs(v int, old, new uint64) Op { return Op{Kind: OpCAS, Var: v, Val: new, Old: old} }
 
 // Test is one litmus program: Threads[t] runs on core t, all variables
 // start at zero, and the question a persistency model answers is which
@@ -89,8 +101,14 @@ type Store struct {
 	Var int
 	Val uint64
 	// Epoch counts the fences program-order-before this store in its
-	// thread (the BEP epoch the store lands in).
+	// thread (the BEP epoch the store lands in). A CAS does not open an
+	// epoch — it is not a persist fence.
 	Epoch int
+	// CAS marks a conditional store: it writes Val only when the var
+	// holds Old at its point in the memory order. The axiomatic
+	// enumerator replays values along each interleaving to decide.
+	CAS bool
+	Old uint64
 }
 
 // Stores lists the test's store events in (thread, program-order) order.
@@ -102,10 +120,11 @@ func (t *Test) Stores() []Store {
 			switch op.Kind {
 			case OpFence:
 				epoch++
-			case OpStore:
+			case OpStore, OpCAS:
 				out = append(out, Store{
 					ID: len(out), Thread: th, Pos: pos,
 					Var: op.Var, Val: op.Val, Epoch: epoch,
+					CAS: op.Kind == OpCAS, Old: op.Old,
 				})
 			}
 		}
@@ -136,9 +155,13 @@ func (t *Test) OrderedBefore(a, b Store) bool {
 	return false
 }
 
-// WrittenVals returns every value the test ever stores to var v, in
-// first-store order. The executable twin's recovery checker accepts only
-// these (or the zero init) as durable values.
+// WrittenVals returns every value the test may store to var v, in
+// first-store order. A CAS contributes its new value whether or not any
+// execution lets it succeed — the set is a superset of the writable
+// values, which is the right direction for the recovery checker's
+// accept-list (the axiomatic layer answers the exact question). The
+// executable twin's recovery checker accepts only these (or the zero
+// init) as durable values.
 func (t *Test) WrittenVals(v int) []uint64 {
 	var out []uint64
 	for _, s := range t.Stores() {
@@ -177,6 +200,11 @@ func (t *Test) Validate() error {
 			switch op.Kind {
 			case OpFence:
 				// Var unused.
+			case OpCAS:
+				if op.Val == op.Old {
+					return fmt.Errorf("litmus %s: thread %d op %d CAS writes its own expectation %d (invisible)", t.Name, th, i, op.Val)
+				}
+				fallthrough
 			case OpStore:
 				if op.Val == 0 {
 					return fmt.Errorf("litmus %s: thread %d op %d stores 0 (aliases the init value)", t.Name, th, i)

@@ -1,0 +1,25 @@
+package pds_test
+
+import (
+	"testing"
+
+	"bbb/internal/persistency"
+	"bbb/internal/workload"
+)
+
+// BenchmarkPDSQueue measures the persistence-tagged MSQ's simulated
+// operation rate under BBB — the library's hot structure (the kv oplog
+// commits through it), so bench-json keeps its trajectory visible.
+func BenchmarkPDSQueue(b *testing.B) {
+	var ops uint64
+	for i := 0; i < b.N; i++ {
+		w, err := workload.ByName("pds/queue")
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := testParams(4, 200)
+		workload.Run(w, persistency.BBB, testConfig(persistency.BBB), p)
+		ops += uint64(p.Threads * p.OpsPerThread)
+	}
+	b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "sim_ops/s")
+}

@@ -1,0 +1,59 @@
+package pds_test
+
+import (
+	"testing"
+
+	"bbb/internal/crashmc"
+	"bbb/internal/persistency"
+	"bbb/internal/system"
+	"bbb/internal/workload"
+)
+
+// TestCrashImagesRecoverable model-checks the pds structures: at several
+// crash points, every reachable durable image — all legal subsets of the
+// in-flight writes surviving — must pass the structure's recovery checker.
+// This is the claim the persistence-tag discipline exists for: whatever a
+// crash leaves behind, recovery sees sealed nodes and per-producer
+// contiguous prefixes. One scheme per persistency model class (relaxed /
+// strict / epoch) keeps the campaign short; the litmus conformance gate
+// covers the scheme × model matrix itself.
+func TestCrashImagesRecoverable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash-image enumeration is minutes-scale; run without -short")
+	}
+	for _, name := range []string{"pds/queue", "pds/hashmap", "pds/hashresize", "pds/skiplist"} {
+		for _, s := range []persistency.Scheme{persistency.PMEM, persistency.BBB, persistency.BEP} {
+			t.Run(name+"/"+s.String(), func(t *testing.T) {
+				t.Parallel()
+				w, err := workload.ByName(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p := workload.DefaultParams()
+				p.Threads = 2
+				p.OpsPerThread = 8
+				rep := crashmc.Config{
+					Workload:   w,
+					Scheme:     s,
+					System:     system.DefaultConfig(s),
+					Params:     p,
+					FirstCrash: 2000,
+					Step:       6000,
+					Points:     4,
+					Parallel:   2,
+				}.Run()
+				if rep.TotalViolating != 0 {
+					msg := "no witness"
+					if wit := rep.FirstWitness(); wit != nil {
+						msg = wit.Err
+					}
+					t.Fatalf("%d of %d reachable images violate recovery (%d sets explored): %s",
+						rep.TotalViolating, rep.TotalDistinct, rep.TotalSets, msg)
+				}
+				if rep.TotalSets == 0 {
+					t.Fatal("campaign explored nothing")
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Package pds is the persistent data-structure library tier: a FliT-style
+// persistence-tagged memory API plus durably-linearizable structures built
+// on it (an MSQ persistent queue, a persistent hash map and a persistent
+// skiplist).
+//
+// The paper's pitch is that battery-backed buffers make persistent
+// programming simple because ordinary stores are durable; FliT's pitch is
+// that the flush/fence choreography other schemes need belongs in a
+// *library*, not in every structure. pds combines the two: structure code
+// is written once against the tagged primitives below, and the active
+// scheme's cpu.Env lowers each tag to the minimal instruction set it
+// needs:
+//
+//	primitive   PMEM                BEP            BBB / eADR / NVCache
+//	---------   -----------------   ------------   --------------------
+//	StoreP      store; clwb         store          store
+//	LoadP       load                load           load
+//	CASP        cas; clwb; sfence   cas; epoch     cas
+//	FlushP      clwb                nothing        nothing
+//	DrainP      sfence              epoch mark     nothing
+//
+// (The lowering is Env's: Flush no-ops unless the scheme has
+// ExplicitPersist, Fence no-ops unless ExplicitPersist or EpochMode — so
+// one body serves every scheme, and under the battery schemes the entire
+// discipline evaporates, which is the paper's Figure 2/3 argument made
+// reusable.)
+//
+// The structures follow one ordering discipline, which cmd/bbbvet's
+// persistlint pass verifies automatically (the primitives are persistency
+// intrinsics to it, like Store64 — no suppressions anywhere in this
+// package):
+//
+//  1. Initialize a node with plain stores, seal it with StoreP of its
+//     magic word (one write-back covers the node's single line), and
+//     DrainP before any pointer can reach it.
+//  2. Publish with CASP carrying a `//bbbvet:commit-store` annotation:
+//     the CAS is the linearization point, and its trailing flush+fence
+//     make the operation durable before it returns (durable
+//     linearizability).
+//  3. Index state a recovery walk can rebuild (the queue's tail) is
+//     written with plain CAS — FliT persists no index state, and neither
+//     do we.
+//
+// Because every publish is fence-preceded, observing a pointer implies its
+// target's *content* is already durable (an sfence retires only after its
+// clwbs complete, and the publishing store issues after the sfence), so
+// LoadP needs no flush-on-read: durable-reachable implies durable-valid,
+// by induction over publishes. That is why the recovery checkers in
+// recover.go can demand valid magic on everything they can reach.
+package pds
+
+import (
+	"bbb/internal/cpu"
+	"bbb/internal/memory"
+)
+
+// Magic words sealing each pds object kind. A recovery walk treats a
+// missing or foreign magic as "this line never persisted".
+const (
+	magicQueueNode = 0xB1B0_0011
+	magicMapRoot   = 0xB1B0_0012
+	magicMapTable  = 0xB1B0_0013
+	magicMapNode   = 0xB1B0_0014
+	magicListHead  = 0xB1B0_0015
+	magicListNode  = 0xB1B0_0016
+)
+
+// Ref names a cell in the persistent heap.
+type Ref = memory.Addr
+
+// Cell is one 8-byte persistence-tagged cell: the user-facing unit of the
+// tagged API for singleton state (roots, flags). Structure code uses the
+// free-function forms on computed addresses.
+type Cell struct{ Addr Ref }
+
+// StoreP writes v and tags it persistent (write-back emitted, fence left
+// to the caller's DrainP).
+func (c Cell) StoreP(e cpu.Env, v uint64) { StoreP(e, c.Addr, v) }
+
+// LoadP reads the cell through the tagged-load path.
+func (c Cell) LoadP(e cpu.Env) uint64 { return LoadP(e, c.Addr) }
+
+// CASP atomically publishes new if the cell holds old, durably: the swap
+// is flushed and fenced before CASP returns.
+func (c Cell) CASP(e cpu.Env, old, new uint64) (uint64, bool) {
+	return CASP(e, c.Addr, old, new)
+}
+
+// StoreP is the persistence-tagged store: the store plus the write-back of
+// its line. It leaves the line flushed-but-unfenced; the operation's
+// DrainP (or a following CASP) makes it durable. Under battery schemes the
+// write-back lowers to nothing.
+func StoreP(e cpu.Env, addr Ref, v uint64) {
+	cpu.Store64(e, addr, v)
+	e.Flush(addr)
+}
+
+// LoadP is the persistence-tagged load. It lowers to a plain load under
+// every scheme: pds publishes only behind fences, so a loaded pointer's
+// target content is already durable (see the package comment). The tag
+// keeps reads of persistent cells on one auditable path.
+func LoadP(e cpu.Env, addr Ref) uint64 {
+	return cpu.Load64(e, addr)
+}
+
+// CASP is the persistence-tagged compare-and-swap: the linearization point
+// of every pds publish. A successful swap is written back and fenced
+// before CASP returns, so the operation it completes is durable by return
+// time — durable linearizability under PMEM at the cost of one clwb and
+// one sfence, and for free under the battery schemes.
+func CASP(e cpu.Env, addr Ref, old, new uint64) (uint64, bool) {
+	prev, ok := e.CompareAndSwap(addr, 8, old, new)
+	e.Flush(addr)
+	e.Fence()
+	return prev, ok
+}
+
+// FlushP writes addr's line back toward the persistence domain (clwb under
+// PMEM, nothing elsewhere). Pair with DrainP.
+func FlushP(e cpu.Env, addr Ref) { e.Flush(addr) }
+
+// DrainP completes every outstanding write-back: sfence under PMEM, an
+// epoch mark under BEP, nothing under the battery schemes. One DrainP can
+// commit a whole batch of StoreP'd lines — the service tier's batching
+// lever.
+func DrainP(e cpu.Env) { e.Fence() }
+
+// hashKey is the multiplicative hash shared by the map and the skiplist's
+// deterministic tower heights (Fibonacci hashing constant).
+func hashKey(key uint64) uint64 {
+	return key * 0x9E3779B97F4A7C15
+}

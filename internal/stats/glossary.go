@@ -73,6 +73,17 @@ var Glossary = map[string]string{
 	"wpq.depth":              "gauge: NVMM write-pending-queue depth over time",
 	"wpq.residency":          "histogram: cycles a write waited in the NVMM WPQ before reaching the medium",
 
+	// KV service tier (internal/kvservice): request-level latency measured
+	// against the deterministic arrival schedule, folded into Result.Metrics
+	// after the run (MergeHist), so `Result` carries p50/p95/p99 per scheme.
+	"kv.batch_size":  "histogram: requests per committed service batch",
+	"kv.lat":         "histogram: cycles from request arrival to durable batch commit",
+	"kv.lat.delete":  "histogram: delete-request latency in cycles",
+	"kv.lat.get":     "histogram: get-request latency in cycles",
+	"kv.lat.put":     "histogram: put-request latency in cycles",
+	"kv.lat.scan":    "histogram: scan-request latency in cycles",
+	"kv.queue_delay": "histogram: cycles a request waited before its batch opened",
+
 	// Durability provenance (tracing only): commit-to-durable matching.
 	"persist.resolved_stores":   "committed persisting stores matched to a durability event",
 	"persist.unresolved_stores": "committed persisting stores never observed durable (would need flush-on-fail)",

@@ -294,6 +294,24 @@ func (m *Metrics) GaugeNames() []string {
 	return append([]string(nil), m.gorder...)
 }
 
+// MergeHist folds a standalone histogram into histogram name, creating it
+// if needed. Service workloads accumulate per-client histograms outside
+// any registry (one goroutine each, no locking) and fold them in here
+// after the run; the name must be documented in Glossary like any
+// Observe site. Safe (and a no-op) on a nil registry or nil h.
+func (m *Metrics) MergeHist(name string, h *Histogram) {
+	if m == nil || h == nil {
+		return
+	}
+	dst := m.hists[name]
+	if dst == nil {
+		dst = &Histogram{}
+		m.hists[name] = dst
+		m.horder = append(m.horder, name)
+	}
+	dst.Merge(h)
+}
+
 // Merge folds every histogram of other into m (gauge timelines are not
 // merged: interleaving two machines' timelines has no meaning).
 func (m *Metrics) Merge(other *Metrics) {

@@ -701,6 +701,37 @@ func (a *analysis) resolveCall(call *ast.CallExpr) (callOp, bool) {
 	if firstIsEnv && fn.Name() == "Load64" {
 		return op, true // known pure read
 	}
+	// The pds persistence-tagged primitives (internal/pds) are intrinsics
+	// like Store64: hardcoding them lets the commit-store contract attach
+	// to CASP/StoreP publishes and keeps cross-package callers visible,
+	// which is how persistlint verifies the library's emitted flush
+	// discipline with zero suppressions.
+	if firstIsEnv && fn.Name() == "StoreP" && len(call.Args) >= 3 {
+		op.dirtyAddrs = []ast.Expr{call.Args[1]}
+		op.flushAddrs = []ast.Expr{call.Args[1]}
+		op.publish = call.Args[1]
+		op.value = call.Args[2]
+		return op, true
+	}
+	if firstIsEnv && fn.Name() == "LoadP" {
+		return op, true // tagged load lowers to a plain load
+	}
+	if firstIsEnv && fn.Name() == "CASP" && len(call.Args) >= 4 {
+		op.dirtyAddrs = []ast.Expr{call.Args[1]}
+		op.flushAddrs = []ast.Expr{call.Args[1]}
+		op.fences = true
+		op.publish = call.Args[1]
+		op.value = call.Args[3]
+		return op, true
+	}
+	if firstIsEnv && fn.Name() == "FlushP" && len(call.Args) >= 2 {
+		op.flushAddrs = []ast.Expr{call.Args[1]}
+		return op, true
+	}
+	if firstIsEnv && fn.Name() == "DrainP" {
+		op.fences = true
+		return op, true
+	}
 	// cpu.PersistBarrier is the non-allocating front door to
 	// Env.PersistBarrier; the address list starts at argument 1.
 	if firstIsEnv && fn.Name() == "PersistBarrier" {

@@ -119,8 +119,8 @@ func recordCall(info *types.Info, call *ast.CallExpr, fx *facts, pass *vet.Pass)
 		read = fn.Name() == "Get"
 	case isStatsMethod(fn, "Metrics"):
 		// The histogram/gauge registry shares the stringly-typed namespace:
-		// Observe/Sample write a metric, Hist/Gauge read it back.
-		write = fn.Name() == "Observe" || fn.Name() == "Sample"
+		// Observe/Sample/MergeHist write a metric, Hist/Gauge read it back.
+		write = fn.Name() == "Observe" || fn.Name() == "Sample" || fn.Name() == "MergeHist"
 		read = fn.Name() == "Hist" || fn.Name() == "Gauge"
 	}
 	arg := call.Args[0]

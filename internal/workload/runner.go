@@ -4,6 +4,7 @@ import (
 	"bbb/internal/engine"
 	"bbb/internal/palloc"
 	"bbb/internal/persistency"
+	"bbb/internal/stats"
 	"bbb/internal/system"
 )
 
@@ -20,12 +21,28 @@ func Build(w Workload, s persistency.Scheme, cfg system.Config, p Params) (*syst
 	return sys, w.Programs(p)
 }
 
+// ServiceMetrics is implemented by workloads that collect application-level
+// measurements of their own (per-client request latencies, batch sizes);
+// Run folds them into Result.Metrics after the machine stops.
+type ServiceMetrics interface {
+	// MergeServiceMetrics merges the workload's histograms into m under
+	// their Glossary names.
+	MergeServiceMetrics(m *stats.Metrics)
+}
+
 // Run executes the workload to completion under scheme s and returns the
 // result (the Fig. 7 measurement path).
 func Run(w Workload, s persistency.Scheme, cfg system.Config, p Params) system.Result {
 	sys, progs := Build(w, s, cfg, p)
 	defer sys.Shutdown()
-	return sys.Run(progs)
+	res := sys.Run(progs)
+	if sm, ok := w.(ServiceMetrics); ok {
+		if res.Metrics == nil {
+			res.Metrics = stats.NewMetrics()
+		}
+		sm.MergeServiceMetrics(res.Metrics)
+	}
+	return res
 }
 
 // BuildToCrash executes the workload until crashCycle (or completion,

@@ -155,6 +155,10 @@ func (e *recEnv) Fence() {
 	}
 }
 
+// Now returns a pseudo-clock (the trace length): the recorder has no real
+// timeline, it only needs a deterministic monotonic value.
+func (e *recEnv) Now() engine.Cycle { return engine.Cycle(len(e.trace)) }
+
 func (e *recEnv) Compute(n engine.Cycle) {
 	if n == 0 {
 		return

@@ -18,6 +18,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"bbb/internal/cpu"
 	"bbb/internal/engine"
@@ -42,6 +43,11 @@ type Params struct {
 	// operations, which sets the %P-stores mix of Table IV. Zero uses the
 	// workload's default.
 	VolatileWork int
+	// BatchWindow is the request-batching window of the service-tier
+	// workloads (internal/kvservice): a client holds its batch open for
+	// this many cycles before the commit that makes the batch durable.
+	// Zero uses the workload's default. Table IV workloads ignore it.
+	BatchWindow engine.Cycle
 }
 
 // DefaultParams mirrors the paper's setup at a simulation-friendly scale.
@@ -93,24 +99,66 @@ func Extras() []Workload {
 // checker relies on that for its parallel sweeps).
 var extraFactories []func() Workload
 
-// Register adds a workload constructor to the ByName namespace. It exists
-// for generated corpora (the litmus tests of internal/litmus): registered
-// workloads resolve by name — so witness replay finds them — but stay out
-// of Registry and Extras, leaving the experiment matrices untouched.
-func Register(f func() Workload) { extraFactories = append(extraFactories, f) }
+// byNameCache memoizes the name → factory mapping ByName resolves through.
+// ByName is hot in witness replay and per-point sweep fan-out, where the old
+// behavior — constructing every Registry, Extras and registered workload per
+// lookup — dominated the lookup cost. The cache holds *factories*, never
+// instances: each hit still constructs a fresh workload, preserving the
+// crash-image isolation the parallel sweeps rely on. Guarded by byNameMu and
+// invalidated by Register (init-time registrations may land after a first
+// lookup in tests).
+var (
+	byNameMu    sync.Mutex
+	byNameCache map[string]func() Workload
+)
 
-// ByName finds a registered workload (Table IV rows, Extras, and anything
-// added via Register).
-func ByName(name string) (Workload, error) {
-	for _, w := range append(Registry(), Extras()...) {
-		if w.Name() == name {
-			return w, nil
+// Register adds a workload constructor to the ByName namespace. It exists
+// for generated corpora (the litmus tests of internal/litmus) and the
+// service tier (internal/kvservice, internal/pds): registered workloads
+// resolve by name — so witness replay finds them — but stay out of Registry
+// and Extras, leaving the experiment matrices untouched.
+func Register(f func() Workload) {
+	byNameMu.Lock()
+	defer byNameMu.Unlock()
+	extraFactories = append(extraFactories, f)
+	byNameCache = nil
+}
+
+// factoryFor returns the memoized factory for name, building the cache on
+// the first lookup after a Register.
+func factoryFor(name string) (func() Workload, bool) {
+	byNameMu.Lock()
+	defer byNameMu.Unlock()
+	if byNameCache == nil {
+		byNameCache = make(map[string]func() Workload)
+		builtins := []func() Workload{
+			func() Workload { return NewRTree() },
+			func() Workload { return NewCTree() },
+			func() Workload { return NewHashmap() },
+			func() Workload { return NewArray(OpMutate, false) },
+			func() Workload { return NewArray(OpMutate, true) },
+			func() Workload { return NewArray(OpSwap, false) },
+			func() Workload { return NewArray(OpSwap, true) },
+			func() Workload { return NewLinkedList() },
+			func() Workload { return NewBTree() },
+			func() Workload { return NewWAL() },
+		}
+		for _, f := range append(builtins, extraFactories...) {
+			name := f().Name() // one construction to learn the name
+			if _, dup := byNameCache[name]; !dup {
+				byNameCache[name] = f
+			}
 		}
 	}
-	for _, f := range extraFactories {
-		if w := f(); w.Name() == name {
-			return w, nil
-		}
+	f, ok := byNameCache[name]
+	return f, ok
+}
+
+// ByName finds a registered workload (Table IV rows, Extras, and anything
+// added via Register). Every call returns a freshly constructed instance.
+func ByName(name string) (Workload, error) {
+	if f, ok := factoryFor(name); ok {
+		return f(), nil
 	}
 	return nil, fmt.Errorf("workload: unknown workload %q", name)
 }

@@ -55,6 +55,43 @@ func TestByName(t *testing.T) {
 	}
 }
 
+// stubWorkload pins the Register/ByName cache-invalidation contract.
+type stubWorkload struct{ Workload }
+
+func (stubWorkload) Name() string { return "test/stub" }
+
+// The ByName factory cache must (a) hand out a fresh instance per lookup —
+// the crash-image sweeps mutate the instances they resolve — and (b) pick up
+// factories registered after the cache was built.
+func TestByNameFactoryCache(t *testing.T) {
+	a, err := ByName("linkedlist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ByName("linkedlist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.(*LinkedList) == b.(*LinkedList) {
+		t.Fatal("ByName returned the same instance twice; sweeps need fresh state per lookup")
+	}
+	// Every Registry and Extras name must resolve through the cache.
+	for _, w := range append(Registry(), Extras()...) {
+		got, err := ByName(w.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Name() != w.Name() {
+			t.Fatalf("ByName(%q) resolved %q", w.Name(), got.Name())
+		}
+	}
+	// Registering after a lookup must invalidate the cache.
+	Register(func() Workload { return stubWorkload{NewLinkedList()} })
+	if _, err := ByName("test/stub"); err != nil {
+		t.Fatalf("freshly registered workload not visible: %v", err)
+	}
+}
+
 // Each workload must run to completion under BBB with zero barriers in the
 // code path and leave a consistent durable image after a full drain-free
 // finish plus crash-style flush.
