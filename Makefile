@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race invariant fuzz-short mc-short litmus-short pressure-short kv-short trace-smoke ir-equiv check bench-json bench-profile
+.PHONY: all build test vet race invariant fuzz-short mc-short litmus-short pressure-short kv-short trace-smoke ir-equiv campaign-short regress check bench-json bench-profile
 
 all: check
 
@@ -31,13 +31,22 @@ invariant:
 
 # Perf trajectory: run the key benchmarks (simulator throughput and
 # allocation pressure, Figure 7 wall-clock, raw event-kernel rate) and
-# record them as the next BENCH_<n>.json. Non-gating; CI uploads the file
-# as an artifact so regressions are visible across PRs.
+# record them as the next BENCH_<n>.json, also appending the recording to
+# the .ledger run ledger for provenance (who ran it, where, when).
+# Non-gating; CI uploads the files as artifacts and `make regress` judges
+# the trajectory.
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkIRThroughput|BenchmarkIRInterpreter|BenchmarkFig7aExecutionTime|BenchmarkEngineKernel|BenchmarkCrashMCEnumerate|BenchmarkAxiomaticEnumerate|BenchmarkTraceOverhead|BenchmarkPressureLint|BenchmarkKVService|BenchmarkPDSQueue' \
 		-benchmem . ./internal/engine ./internal/ir ./internal/crashmc ./internal/axiomatic ./internal/trace ./internal/vet/pressurelint ./internal/kvservice ./internal/pds \
-		| $(GO) run ./cmd/benchjson > BENCH_$$(ls BENCH_*.json 2>/dev/null | wc -l).json
+		| $(GO) run ./cmd/benchjson -ledger .ledger -name bench-json > BENCH_$$(ls BENCH_*.json 2>/dev/null | wc -l).json
 	@ls BENCH_*.json | tail -1
+
+# Noise-aware benchmark regression gate: judge the newest BENCH_<n>.json
+# against the older trail with median ± K·MADσ bands (internal/obs). Only
+# metrics with a stable history can fail the gate; noisy ones are reported
+# as suspects. The comparison is also appended to the .ledger run ledger.
+regress:
+	$(GO) run ./cmd/bbbregress -dir . -ledger .ledger
 
 # Hot-path profiling: run the compiled-IR throughput benchmark under the CPU
 # and allocation profilers (bbbsim's -cpuprofile/-memprofile flags do the
@@ -100,6 +109,26 @@ kv-short:
 		|| { echo "kv-short: FAIL: bbbkv produced no kv row"; exit 1; }
 	@echo "kv-short: ok"
 
+# Campaign resumability gate: run a tiny frontier campaign to completion,
+# then the same campaign killed at half its points and resumed at a
+# different worker count, and require the resumed report — frontier table,
+# summary digest and all — to be byte-identical to the uninterrupted one
+# (docs/ARCHITECTURE.md §15). The kill goes through -max-points, the same
+# truncation an actual SIGKILL leaves behind: complete points on disk, the
+# rest missing.
+campaign-short:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	args="-campaign frontier -workload hashmap -ops 80 -threads 2 \
+		-grid-entries 8,32 -grid-thresholds 0.5,0.75 -budgets-mm3 1,20"; \
+	$(GO) run ./cmd/bbbsim $$args -ledger $$tmp/full -parallel 2 > $$tmp/full.txt 2>/dev/null; \
+	$(GO) run ./cmd/bbbsim $$args -ledger $$tmp/resumed -parallel 3 -max-points 2 > /dev/null 2>&1; \
+	$(GO) run ./cmd/bbbsim $$args -ledger $$tmp/resumed -parallel 1 > $$tmp/resumed.txt 2>/dev/null; \
+	cmp $$tmp/full.txt $$tmp/resumed.txt \
+		|| { echo "campaign-short: FAIL: resumed campaign differs from uninterrupted run"; exit 1; }; \
+	grep -q 'summary sha256' $$tmp/resumed.txt \
+		|| { echo "campaign-short: FAIL: no summary digest in the report"; exit 1; }; \
+	echo "campaign-short: ok"
+
 # Px86-TSO conformance at short bounds: for every litmus test × scheme,
 # the crashmc-reachable outcome set must sit inside the axiomatic allowed
 # set, with the battery schemes collapsed to a single image per crash
@@ -115,4 +144,4 @@ ir-equiv:
 	$(GO) test -count=1 -run 'TestIR' . ./internal/workload
 
 # Tier-1.5: everything above.
-check: build test vet race invariant mc-short litmus-short pressure-short kv-short trace-smoke ir-equiv
+check: build test vet race invariant mc-short litmus-short pressure-short kv-short trace-smoke campaign-short ir-equiv regress

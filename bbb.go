@@ -112,6 +112,11 @@ type Options struct {
 	// (how long a client holds a batch open before the durable commit).
 	// Zero uses the workload default.
 	BatchWindow Cycle
+	// SLOTarget is the service tier's latency objective in cycles; the
+	// windowed latency series counts requests over it per time window
+	// (kv.lat.win and the bbbkv -timeline table). Zero uses the workload
+	// default (20000 cycles, between the schemes' p50 and p95).
+	SLOTarget uint64
 	// Parallelism bounds how many independent simulations the experiment
 	// drivers (RunFig7, RunFig8, RunTable4, the ablations, seed sweeps and
 	// crash campaigns) may run concurrently. Every sweep point runs on its
@@ -147,6 +152,7 @@ func (o Options) params() workload.Params {
 		p.Threads = o.Clients
 	}
 	p.BatchWindow = o.BatchWindow
+	p.SLOTarget = o.SLOTarget
 	return p
 }
 
@@ -252,6 +258,7 @@ func RunChecked(workloadName string, s Scheme, o Options, checkPeriod Cycle) (Re
 	var violation error
 	invariant.Attach(sys, checkPeriod, allDone, func(err error) { violation = err })
 	res := sys.Run(progs)
+	workload.FoldServiceMetrics(wl, &res)
 	if violation != nil {
 		return res, fmt.Errorf("invariant violation mid-run: %w", violation)
 	}
@@ -274,6 +281,7 @@ func RunTraced(workloadName string, s Scheme, o Options, w io.Writer) (Result, e
 	sys, progs := workload.Build(wl, s, o.sysConfig(s), o.params())
 	defer sys.Shutdown()
 	res := sys.Run(progs)
+	workload.FoldServiceMetrics(wl, &res)
 	if rec := sys.Trace(); rec != nil && w != nil {
 		rec.Dump(w)
 	}
@@ -297,6 +305,7 @@ func RunStreaming(workloadName string, s Scheme, o Options, w io.Writer) (Result
 	sys, progs := workload.Build(wl, s, cfg, o.params())
 	defer sys.Shutdown()
 	res := sys.Run(progs)
+	workload.FoldServiceMetrics(wl, &res)
 	if err := sys.Trace().Flush(); err != nil {
 		return res, fmt.Errorf("bbb: flushing trace stream: %w", err)
 	}

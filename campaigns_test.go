@@ -1,0 +1,112 @@
+package bbb
+
+import (
+	"strings"
+	"testing"
+
+	"bbb/internal/obs"
+)
+
+func tinyFrontier(t *testing.T, dir string, parallel, maxPoints int) FrontierResult {
+	t.Helper()
+	l, err := obs.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunFrontierCampaign(
+		Options{Threads: 2, OpsPerThread: 60, Parallelism: parallel},
+		FrontierConfig{
+			Entries:    []int{8, 32},
+			Thresholds: []float64{0.5, 0.75},
+			BudgetsMM3: []float64{0.1, 2, 50},
+			MaxPoints:  maxPoints,
+			Ledger:     l,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestFrontierCampaignKillAndResume drives the whole stack end to end: a
+// real simulated sweep interrupted at 50%, resumed under a different
+// worker count, must reproduce the uninterrupted campaign's report byte
+// for byte — run ID, per-point results, frontier rows and summary digest.
+func TestFrontierCampaignKillAndResume(t *testing.T) {
+	ref := tinyFrontier(t, t.TempDir(), 1, 0)
+	if !ref.Complete || len(ref.Points) != 4 || len(ref.Rows) != 3 {
+		t.Fatalf("reference campaign: %+v", ref)
+	}
+
+	dir := t.TempDir()
+	half := tinyFrontier(t, dir, 2, 2)
+	if half.Complete || half.Fresh != 2 {
+		t.Fatalf("interrupted campaign: %+v", half)
+	}
+	if half.RunID != ref.RunID {
+		t.Fatalf("run ID depends on worker count or MaxPoints: %s vs %s", half.RunID, ref.RunID)
+	}
+	resumed := tinyFrontier(t, dir, 3, 0)
+	if !resumed.Complete || resumed.Restored != 2 || resumed.Fresh != 2 {
+		t.Fatalf("resumed campaign: %+v", resumed)
+	}
+	if resumed.VerifiedIx < 0 {
+		t.Error("resume did not re-verify an overlap point")
+	}
+	if got, want := resumed.Report(), ref.Report(); got != want {
+		t.Errorf("resumed report diverged from uninterrupted:\n--- resumed\n%s--- reference\n%s", got, want)
+	}
+	if resumed.SummarySHA != ref.SummarySHA || resumed.SummarySHA == "" {
+		t.Errorf("summary digest: %s vs %s", resumed.SummarySHA, ref.SummarySHA)
+	}
+}
+
+func TestFrontierReportShape(t *testing.T) {
+	res := tinyFrontier(t, t.TempDir(), 2, 0)
+	rep := res.Report()
+	for _, want := range []string{
+		"frontier campaign: workload=hashmap",
+		"battery-budget frontier",
+		"summary sha256 " + res.SummarySHA,
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	// The 0.1 mm^3 budget cannot drain even 8-entry buffers on the mobile
+	// platform; the 50 mm^3 budget fits everything swept.
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if first.MaxEntries != 0 || first.Best != nil {
+		t.Errorf("0.1mm^3 row admitted entries: %+v", first)
+	}
+	if last.MaxEntries != 32 || last.Best == nil {
+		t.Errorf("50mm^3 row: %+v", last)
+	}
+	// Larger budgets can only improve the best achievable cycles.
+	var prev *FrontierPoint
+	for _, row := range res.Rows {
+		if row.Best == nil {
+			continue
+		}
+		if prev != nil && row.Best.Cycles > prev.Cycles {
+			t.Errorf("frontier not monotone: %d cycles at %.1fmm^3 after %d", row.Best.Cycles, row.BudgetMM3, prev.Cycles)
+		}
+		prev = row.Best
+	}
+}
+
+func TestFrontierRejectsBadConfig(t *testing.T) {
+	l, err := obs.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunFrontierCampaign(Options{}, FrontierConfig{Tech: "plutonium", Ledger: l}); err == nil {
+		t.Error("unknown tech accepted")
+	}
+	if _, err := RunFrontierCampaign(Options{}, FrontierConfig{Platform: "laptop", Ledger: l}); err == nil {
+		t.Error("unknown platform accepted")
+	}
+	if _, err := RunFrontierCampaign(Options{}, FrontierConfig{Workload: "nope", Ledger: l}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bbb/internal/obs"
+)
+
+func writeBench(t *testing.T, dir, name, doc string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func doc(ns, stores string) string {
+	return "{\"goos\":\"linux\",\"results\":[" +
+		"{\"name\":\"BenchmarkB\",\"iterations\":10,\"metrics\":{\"ns/op\":" + ns + ",\"sim_stores/s\":" + stores + "}}," +
+		"{\"name\":\"BenchmarkA\",\"iterations\":10,\"metrics\":{\"allocs/op\":210}}]}"
+}
+
+// TestBenchTrailOrder pins numeric trail ordering: BENCH_10 sorts after
+// BENCH_9, and files outside the numbered pattern are ignored.
+func TestBenchTrailOrder(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_10.json", "BENCH_2.json", "BENCH_9.json", "BENCH_x.json", "OTHER_1.json"} {
+		writeBench(t, dir, name, doc("100", "1000"))
+	}
+	trail, err := benchTrail(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bases []string
+	for _, p := range trail {
+		bases = append(bases, filepath.Base(p))
+	}
+	want := []string{"BENCH_2.json", "BENCH_9.json", "BENCH_10.json"}
+	if len(bases) != len(want) {
+		t.Fatalf("trail = %v, want %v", bases, want)
+	}
+	for i := range want {
+		if bases[i] != want[i] {
+			t.Fatalf("trail = %v, want %v", bases, want)
+		}
+	}
+}
+
+// TestLoadBenchRunFlattens pins the map-to-ordered-slice flattening: the
+// benchmark list and each metric list come back sorted by name.
+func TestLoadBenchRunFlattens(t *testing.T) {
+	dir := t.TempDir()
+	path := writeBench(t, dir, "BENCH_0.json", doc("100", "1000"))
+	run, err := loadBenchRun(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Label != "BENCH_0.json" {
+		t.Fatalf("label = %q", run.Label)
+	}
+	if len(run.Benches) != 2 || run.Benches[0].Name != "BenchmarkA" || run.Benches[1].Name != "BenchmarkB" {
+		t.Fatalf("benches not sorted: %+v", run.Benches)
+	}
+	b := run.Benches[1]
+	if len(b.Metrics) != 2 || b.Metrics[0].Name != "ns/op" || b.Metrics[1].Name != "sim_stores/s" {
+		t.Fatalf("metrics not sorted: %+v", b.Metrics)
+	}
+}
+
+// TestEndToEndGateOnFixtures drives the whole load-and-compare path on a
+// synthetic trail: a 10% throughput drop against a tight history gates,
+// the unchanged run does not.
+func TestEndToEndGateOnFixtures(t *testing.T) {
+	dir := t.TempDir()
+	writeBench(t, dir, "BENCH_0.json", doc("100", "100000"))
+	writeBench(t, dir, "BENCH_1.json", doc("101", "99500"))
+	writeBench(t, dir, "BENCH_2.json", doc("99", "100300"))
+	bad := writeBench(t, dir, "BENCH_3.json", doc("100", "90000"))
+
+	trail, err := benchTrail(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var history []obs.BenchRun
+	for _, p := range trail[:3] {
+		run, err := loadBenchRun(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		history = append(history, run)
+	}
+	cand, err := loadBenchRun(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := obs.Compare(history, cand, obs.RegressOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Failed() {
+		t.Fatalf("10%% sim_stores/s drop did not gate:\n%s", report.Render(true))
+	}
+
+	okCand, err := loadBenchRun(filepath.Join(dir, "BENCH_2.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err = obs.Compare(history[:2], okCand, obs.RegressOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Failed() {
+		t.Fatalf("noise-level candidate gated:\n%s", report.Render(true))
+	}
+}

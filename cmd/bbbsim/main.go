@@ -11,6 +11,15 @@
 //	bbbsim -workload rtree -scheme pmem -no-barriers
 //	bbbsim -workload mutateC -scheme bbb -entries 8 -verbose
 //	bbbsim -workload rtree,hashmap -scheme pmem,eadr,bbb -parallel 8
+//
+// Campaign mode runs a checkpointed resumable sweep against a run ledger
+// (see internal/obs): every completed point is recorded as it finishes, a
+// killed campaign resumes where it stopped, and the final report is
+// byte-identical to an uninterrupted run at any -parallel setting.
+//
+//	bbbsim -campaign frontier -ledger runs/
+//	bbbsim -campaign frontier -ledger runs/ -max-points 6   # stop early...
+//	bbbsim -campaign frontier -ledger runs/                 # ...and resume
 package main
 
 import (
@@ -20,9 +29,12 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
+	"time"
 
 	"bbb"
+	"bbb/internal/obs"
 	"bbb/internal/stats"
 	"bbb/internal/sweep"
 )
@@ -54,8 +66,35 @@ func main() {
 		compiled   = flag.Bool("compiled", false, "run workloads through the compiled IR interpreter instead of goroutine drivers (identical results; see internal/ir)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the simulations to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile taken after the simulations to this file")
+
+		campaign   = flag.String("campaign", "", "run a ledger-backed resumable campaign instead of single simulations (frontier)")
+		ledgerDir  = flag.String("ledger", "", "run-ledger directory for -campaign (required; the checkpoint store)")
+		maxPoints  = flag.Int("max-points", 0, "stop the campaign after N fresh points (0 = run to completion); re-run to resume")
+		gridEnt    = flag.String("grid-entries", "", "frontier campaign bbPB sizes, comma-separated (default 8,16,32,64)")
+		gridThresh = flag.String("grid-thresholds", "", "frontier campaign drain thresholds, comma-separated (default 0.25,0.5,0.75)")
+		budgets    = flag.String("budgets-mm3", "", "frontier battery volumes in mm^3, comma-separated (default 1,5,20,100)")
+		tech       = flag.String("tech", "supercap", "frontier battery technology: supercap or li-thin")
+		platform   = flag.String("platform", "mobile", "frontier drain pricing platform: mobile or server")
 	)
 	flag.Parse()
+
+	if *campaign != "" {
+		runCampaign(*campaign, campaignConfig{
+			ledgerDir: *ledgerDir, maxPoints: *maxPoints,
+			gridEntries: *gridEnt, gridThresholds: *gridThresh,
+			budgets: *budgets, tech: *tech, platform: *platform,
+			workload: *wl,
+		}, bbb.Options{
+			Threads:      *threads,
+			OpsPerThread: *ops,
+			NoBarriers:   *noBarriers,
+			Seed:         *seed,
+			Clients:      *clients,
+			BatchWindow:  bbb.Cycle(*window),
+			Parallelism:  *parallel,
+		})
+		return
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -172,6 +211,99 @@ func main() {
 		}
 		printResult(combos[i], o, out.res, *verbose)
 	}
+}
+
+type campaignConfig struct {
+	ledgerDir      string
+	maxPoints      int
+	gridEntries    string
+	gridThresholds string
+	budgets        string
+	tech           string
+	platform       string
+	workload       string
+}
+
+// runCampaign drives a resumable sweep. The deterministic report goes to
+// stdout (two completed runs compare with cmp); progress and resume notes
+// go to stderr via log.
+func runCampaign(name string, cc campaignConfig, o bbb.Options) {
+	if cc.ledgerDir == "" {
+		log.Fatal("-campaign needs -ledger (the checkpoint directory)")
+	}
+	if strings.Contains(cc.workload, ",") {
+		log.Fatal("-campaign sweeps its own grid; give a single -workload")
+	}
+	ledger, err := obs.Open(cc.ledgerDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	switch name {
+	case "frontier":
+		res, err := bbb.RunFrontierCampaign(o, bbb.FrontierConfig{
+			Workload:   cc.workload,
+			Entries:    parseInts(cc.gridEntries),
+			Thresholds: parseFloats(cc.gridThresholds),
+			BudgetsMM3: parseFloats(cc.budgets),
+			Tech:       cc.tech,
+			Platform:   cc.platform,
+			MaxPoints:  cc.maxPoints,
+			Ledger:     ledger,
+			Host:       hostInfo(),
+			Clock:      func() int64 { return time.Now().UnixNano() },
+			Progress:   os.Stderr,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(res.Report())
+	default:
+		log.Fatalf("unknown campaign %q (want frontier)", name)
+	}
+}
+
+// hostInfo captures machine provenance for ledger host stamps. This lives
+// in cmd (not internal/obs) on purpose: detlint keeps wall-clock and
+// host-environment probes out of the internal packages.
+func hostInfo() *obs.HostInfo {
+	host, _ := os.Hostname()
+	return &obs.HostInfo{
+		Hostname: host,
+		GOOS:     runtime.GOOS,
+		GOARCH:   runtime.GOARCH,
+		CPUs:     runtime.NumCPU(),
+		UnixNS:   time.Now().UnixNano(),
+	}
+}
+
+func parseInts(s string) []int {
+	if s == "" {
+		return nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			log.Fatalf("bad integer list %q: %v", s, err)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseFloats(s string) []float64 {
+	if s == "" {
+		return nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			log.Fatalf("bad number list %q: %v", s, err)
+		}
+		out = append(out, v)
+	}
+	return out
 }
 
 func printResult(c combo, o bbb.Options, res bbb.Result, verbose bool) {

@@ -3,18 +3,30 @@
 // (see `make bench-json`). Counter names come through verbatim, so custom
 // metrics like sim_stores/s and allocs/op are preserved alongside ns/op.
 //
+// With -ledger the recording is also appended to a run ledger
+// (internal/obs) as a bench line: the results are the deterministic
+// payload, the machine (hostname, CPU count, wall clock) goes in the host
+// stamp, and successive recordings under the same -name accumulate in one
+// run file — the provenance trail cmd/bbbregress comparisons sit next to.
+//
 // Usage:
 //
 //	go test -bench . -benchmem ./... | benchjson > BENCH_0.json
+//	go test -bench . -benchmem ./... | benchjson -ledger .ledger -name nightly > BENCH_1.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
+
+	"bbb/internal/obs"
 )
 
 type result struct {
@@ -31,6 +43,12 @@ type report struct {
 }
 
 func main() {
+	var (
+		ledgerDir = flag.String("ledger", "", "run-ledger directory to append the recording to (see internal/obs)")
+		name      = flag.String("name", "bench", "run name for the ledger recording; same name = same run file")
+	)
+	flag.Parse()
+
 	var rep report
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -59,6 +77,56 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	if *ledgerDir != "" {
+		if err := appendToLedger(*ledgerDir, *name, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// appendToLedger records the parsed results as a bench line in the run
+// ledger. The results slice is the deterministic payload; goos/cpu and the
+// wall clock — machine facts — ride in the host stamp, mirroring how the
+// campaign driver splits its lines.
+func appendToLedger(dir, name string, rep report) error {
+	ledger, err := obs.Open(dir)
+	if err != nil {
+		return err
+	}
+	runID, err := obs.RunID("benchjson", name)
+	if err != nil {
+		return err
+	}
+	seqBase := 0
+	if prior, err := ledger.ReadIfExists(runID); err != nil {
+		return err
+	} else if prior != nil {
+		if err := ledger.Repair(prior); err != nil {
+			return err
+		}
+		seqBase = len(prior.Lines)
+	}
+	w, err := ledger.Append(runID, seqBase)
+	if err != nil {
+		return err
+	}
+	host, _ := os.Hostname()
+	det := struct {
+		Name    string   `json:"name"`
+		Results []result `json:"results"`
+	}{name, rep.Results}
+	if err := w.Write(obs.KindBench, det, &obs.HostInfo{
+		Hostname: host,
+		GOOS:     runtime.GOOS,
+		GOARCH:   runtime.GOARCH,
+		CPUs:     runtime.NumCPU(),
+		UnixNS:   time.Now().UnixNano(),
+	}); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
 }
 
 // parseBench decodes one result line: a name, an iteration count, then

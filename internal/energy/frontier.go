@@ -1,0 +1,44 @@
+package energy
+
+// Battery-budget frontier helpers: given a battery of a fixed physical
+// volume, which bbPB sizes can it safely drain? The frontier campaign
+// (RunFrontierCampaign) sweeps bbPB size × drain policy, prices every
+// configuration with these functions, and reports the best-performing
+// configuration that fits each budget — the §V-A sizing tables turned into
+// a design-space query.
+
+// BudgetEnergyJ is the usable energy held by a battery of volumeMM3 cubic
+// millimetres of tech, after the model's provisioning derate (the inverse
+// of BatteryVolumeMM3).
+func (m CostModel) BudgetEnergyJ(tech BatteryTech, volumeMM3 float64) float64 {
+	effDensity := tech.DensityWhPerCm3 / m.ProvisionFactor // Wh/cm^3
+	wh := (volumeMM3 / 1000) * effDensity
+	return wh * 3600
+}
+
+// FrontierEnergyFor is the energy a BBB configuration must bank to survive
+// a crash: the worst-case drain of entries-deep bbPBs on every core, all
+// full. It is deliberately the pessimistic bound (BBBDrainEnergyJ), not
+// the average-dirty estimate — a battery sized to the average loses data
+// on the worst day.
+func (m CostModel) FrontierEnergyFor(p Platform, entries int) float64 {
+	return m.BBBDrainEnergyJ(p, entries)
+}
+
+// FitsBudget reports whether entries-deep bbPBs can drain on a battery of
+// volumeMM3 of tech.
+func (m CostModel) FitsBudget(p Platform, entries int, tech BatteryTech, volumeMM3 float64) bool {
+	return m.FrontierEnergyFor(p, entries) <= m.BudgetEnergyJ(tech, volumeMM3)
+}
+
+// MaxEntriesWithinBudget returns the largest entry count in candidates
+// that fits the budget, or 0 when none do. candidates need not be sorted.
+func (m CostModel) MaxEntriesWithinBudget(p Platform, candidates []int, tech BatteryTech, volumeMM3 float64) int {
+	best := 0
+	for _, e := range candidates {
+		if e > best && m.FitsBudget(p, e, tech, volumeMM3) {
+			best = e
+		}
+	}
+	return best
+}

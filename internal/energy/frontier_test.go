@@ -1,0 +1,61 @@
+package energy
+
+import "testing"
+
+// TestBudgetEnergyInvertsVolume: BudgetEnergyJ must be the exact inverse
+// of BatteryVolumeMM3, so sizing a battery for an energy and asking what
+// that battery holds round-trips.
+func TestBudgetEnergyInvertsVolume(t *testing.T) {
+	m := DefaultCostModel()
+	for _, tech := range []BatteryTech{SuperCap(), LiThin()} {
+		for _, energyJ := range []float64{1e-4, 0.02, 1.5} {
+			vol := m.BatteryVolumeMM3(energyJ, tech)
+			back := m.BudgetEnergyJ(tech, vol)
+			if diff := back/energyJ - 1; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("%s: %g J -> %g mm^3 -> %g J", tech.Name, energyJ, vol, back)
+			}
+		}
+	}
+}
+
+func TestFrontierEnergyScalesWithEntries(t *testing.T) {
+	m := DefaultCostModel()
+	p := Mobile()
+	e32 := m.FrontierEnergyFor(p, 32)
+	e64 := m.FrontierEnergyFor(p, 64)
+	if e64 <= e32 {
+		t.Fatalf("64-entry drain energy %g <= 32-entry %g", e64, e32)
+	}
+	if ratio := e64 / e32; ratio < 1.99 || ratio > 2.01 {
+		t.Errorf("doubling entries scaled energy by %g, want ~2", ratio)
+	}
+	// The frontier bound is the pessimistic (all-full) drain, matching
+	// the battery-provisioning side of the model.
+	if e32 != m.BBBDrainEnergyJ(p, 32) {
+		t.Error("frontier energy diverged from the worst-case drain bound")
+	}
+}
+
+// TestFitsBudgetFrontier: a budget sized exactly for 32 entries admits 32
+// (and everything smaller) and rejects 64, on both platforms.
+func TestFitsBudgetFrontier(t *testing.T) {
+	m := DefaultCostModel()
+	for _, p := range Platforms() {
+		tech := SuperCap()
+		budget := m.BatteryVolumeMM3(m.FrontierEnergyFor(p, 32), tech)
+		for _, e := range []int{8, 16, 32} {
+			if !m.FitsBudget(p, e, tech, budget) {
+				t.Errorf("%s: %d entries rejected by a 32-entry budget", p.Name, e)
+			}
+		}
+		if m.FitsBudget(p, 64, tech, budget) {
+			t.Errorf("%s: 64 entries fit a 32-entry budget", p.Name)
+		}
+		if got := m.MaxEntriesWithinBudget(p, []int{64, 8, 32, 16}, tech, budget); got != 32 {
+			t.Errorf("%s: MaxEntriesWithinBudget = %d, want 32", p.Name, got)
+		}
+		if got := m.MaxEntriesWithinBudget(p, []int{64, 128}, tech, budget/4); got != 0 {
+			t.Errorf("%s: impossible budget admitted %d entries", p.Name, got)
+		}
+	}
+}

@@ -63,6 +63,14 @@ const (
 	defaultWindow = engine.Cycle(400)
 	// scanWidth is the range-query fan of a scan request.
 	scanWidth = 8
+	// latWindowWidth is the time-window width of the kv.lat.win latency
+	// series in cycles: ~12 windows over a default 4x400 run, enough to
+	// see warm-up and steady state without drowning the report.
+	latWindowWidth = 25000
+	// defaultSLO is the latency objective when Params.SLOTarget is zero:
+	// 20000 cycles (10 us at 2 GHz) sits between every scheme's p50 and
+	// p95, so burn rates separate the schemes without saturating.
+	defaultSLO = 20000
 )
 
 // request is one precomputed service request.
@@ -84,8 +92,11 @@ type client struct {
 	// Host-side measurements, observed at simulated-commit time.
 	lat, latPut, latGet, latDel, latScan stats.Histogram
 	batchSize, queueDelay                stats.Histogram
-	batches                              int
-	scanned                              int
+	// latWin is the windowed latency series: per-time-window percentiles
+	// and SLO over-counts, merged across clients into kv.lat.win.
+	latWin  *stats.Windowed
+	batches int
+	scanned int
 }
 
 // Service implements workload.Workload for the "kv" (zipfian) and
@@ -164,6 +175,10 @@ func (s *Service) Setup(mem *memory.Memory, arena *palloc.Arena, p workload.Para
 	if s.window == 0 {
 		s.window = defaultWindow
 	}
+	slo := p.SLOTarget
+	if slo == 0 {
+		slo = defaultSLO
+	}
 	s.clients = nil
 	// The oplog sees at most one record per request from each client.
 	oplog := pds.NewQueue(mem, arena, p.Threads, p.OpsPerThread+1)
@@ -175,8 +190,9 @@ func (s *Service) Setup(mem *memory.Memory, arena *palloc.Arena, p workload.Para
 			// Pacing loads spin on a private DRAM line.
 			scratch: layout.DRAMBase + memory.Addr(0x10000+c*int(memory.LineSize)),
 			// Node heap: one node per put plus out-of-place resize copies.
-			shard: pds.NewMap(mem, arena, 1, p.OpsPerThread*6+64, 256),
-			index: pds.NewList(mem, arena, 1, p.OpsPerThread+1),
+			shard:  pds.NewMap(mem, arena, 1, p.OpsPerThread*6+64, 256),
+			index:  pds.NewList(mem, arena, 1, p.OpsPerThread+1),
+			latWin: stats.NewWindowed(latWindowWidth, slo),
 		}
 		s.clients = append(s.clients, cl)
 	}
@@ -239,6 +255,7 @@ func (s *Service) Programs(p workload.Params) []system.Program {
 				for j := i; j < i+n; j++ {
 					lat := uint64(commit - cl.reqs[j].arrival)
 					cl.lat.Observe(lat)
+					cl.latWin.Observe(uint64(commit), lat)
 					switch cl.reqs[j].op {
 					case opPut:
 						cl.latPut.Observe(lat)
@@ -422,5 +439,17 @@ func (s *Service) MergeServiceMetrics(m *stats.Metrics) {
 		m.MergeHist("kv.lat.scan", &cl.latScan)
 		m.MergeHist("kv.batch_size", &cl.batchSize)
 		m.MergeHist("kv.queue_delay", &cl.queueDelay)
+		m.MergeWindowed("kv.lat.win", cl.latWin)
+	}
+	// Project the merged windows onto gauge timelines so the per-window
+	// percentiles ride the standard GaugeSeries path (Perfetto counter
+	// tracks, decimation, CLI summaries). Stamped at each window's last
+	// cycle, machine-wide (core -1).
+	if win := m.Windowed("kv.lat.win"); win != nil {
+		for _, snap := range win.Snapshots() {
+			end := snap.Start + win.Width() - 1
+			m.Sample("kv.lat.win.p50", end, -1, uint64(snap.P50))
+			m.Sample("kv.lat.win.p99", end, -1, uint64(snap.P99))
+		}
 	}
 }

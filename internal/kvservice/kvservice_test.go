@@ -82,6 +82,63 @@ func TestServiceMetrics(t *testing.T) {
 	}
 }
 
+// TestServiceWindowedSLO pins the latency-over-time series: every request
+// lands in exactly one kv.lat.win window, the SLO bound follows
+// Params.SLOTarget, and the per-window percentile gauges are projected one
+// point per window.
+func TestServiceWindowedSLO(t *testing.T) {
+	runWith := func(slo uint64) system.Result {
+		w, err := workload.ByName("kv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := params(3, 80)
+		p.SLOTarget = slo
+		return workload.Run(w, persistency.BBB, system.DefaultConfig(persistency.BBB), p)
+	}
+
+	res := runWith(0) // workload default SLO
+	win := res.Metrics.Windowed("kv.lat.win")
+	if win == nil {
+		t.Fatal("kv.lat.win missing from Result.Metrics")
+	}
+	if got, want := win.Total().Count(), uint64(3*80); got != want {
+		t.Fatalf("kv.lat.win holds %d samples, want one per request (%d)", got, want)
+	}
+	snaps := win.Snapshots()
+	if len(snaps) < 2 {
+		t.Fatalf("run spans %d windows, want at least 2 for a timeline", len(snaps))
+	}
+	var sum, over uint64
+	for _, s := range snaps {
+		sum += s.Count
+		over += s.Over
+	}
+	if sum != win.Total().Count() {
+		t.Fatalf("window counts sum to %d, total is %d", sum, win.Total().Count())
+	}
+	if over != win.OverSLO() {
+		t.Fatalf("window over-counts sum to %d, OverSLO is %d", over, win.OverSLO())
+	}
+	for _, name := range []string{"kv.lat.win.p50", "kv.lat.win.p99"} {
+		g := res.Metrics.Gauge(name)
+		if g == nil {
+			t.Fatalf("gauge %q missing from Result.Metrics", name)
+		}
+		if got := len(g.Points()); got != len(snaps) {
+			t.Fatalf("gauge %q has %d points, want one per window (%d)", name, got, len(snaps))
+		}
+	}
+
+	// An unmeetable 1-cycle objective burns every request; a huge one none.
+	if r := runWith(1); r.Metrics.Windowed("kv.lat.win").OverSLO() != r.Metrics.Windowed("kv.lat.win").Total().Count() {
+		t.Fatal("SLO of 1 cycle should put every request over the objective")
+	}
+	if r := runWith(1 << 40); r.Metrics.Windowed("kv.lat.win").OverSLO() != 0 {
+		t.Fatal("an astronomically loose SLO should burn nothing")
+	}
+}
+
 // TestServiceDeterministic pins that a service run is a pure function of
 // its parameters, metrics included.
 func TestServiceDeterministic(t *testing.T) {

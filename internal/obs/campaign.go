@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"bbb/internal/sweep"
+)
+
+// Campaign is a checkpointed, resumable sweep: a fixed, ordered list of
+// independent points, each with a stable key, executed by a bounded worker
+// pool (internal/sweep) with every completion appended to the run ledger.
+// A campaign killed mid-sweep resumes by re-reading its ledger file:
+// completed points are restored from their recorded results instead of
+// re-running, one restored point is re-executed and deep-compared against
+// its recording (the overlap verification — nondeterminism or code drift
+// between sessions fails loudly instead of corrupting the sweep), and the
+// final results and summary come out byte-identical to an uninterrupted
+// run at any worker count.
+//
+// The determinism contract a point function must meet is sweep's: build
+// everything locally from the point's inputs, share nothing mutable. On
+// top of that, R must round-trip through encoding/json — every result,
+// fresh or restored, is canonicalized through its JSON encoding, which is
+// what makes resumed and uninterrupted campaigns comparable byte for byte.
+type Campaign[P, R any] struct {
+	// Name labels the campaign; it seeds the run ID together with Spec
+	// and the point keys.
+	Name string
+	// Spec is the caller's configuration, recorded verbatim in the run
+	// header and folded into the run ID — change the spec, get a fresh
+	// checkpoint file.
+	Spec any
+	// Points is the ordered sweep.
+	Points []P
+	// Key returns point i's stable identity (unique within the campaign).
+	Key func(i int, p P) string
+	// Run executes point i. It must be deterministic in (i, p).
+	Run func(i int, p P) R
+	// Workers bounds the sweep fan-out (<=1 is serial).
+	Workers int
+	// MaxPoints, when positive, stops the campaign after completing that
+	// many fresh points this session — the controlled form of a kill, and
+	// what `bbbsim -campaign -max-points` exposes. The outcome reports
+	// Complete=false; re-executing resumes where it stopped.
+	MaxPoints int
+	// Ledger receives the checkpoint stream. Required.
+	Ledger *Ledger
+	// Host, when non-nil, stamps appended lines (never compared).
+	Host *HostInfo
+	// Clock, when non-nil, supplies wall-clock nanoseconds for per-point
+	// Host stamps. obs never reads the wall clock itself (detlint);
+	// cmd-side callers pass time.Now-based closures.
+	Clock func() int64
+}
+
+// Outcome is a campaign execution's deterministic result.
+type Outcome[R any] struct {
+	RunID string
+	// Results holds every point's canonicalized result, in point order —
+	// only meaningful when Complete.
+	Results []R
+	// Restored counts points skipped because the ledger already held
+	// their results; Fresh counts points executed this session.
+	Restored int
+	Fresh    int
+	// VerifiedIndex is the restored point re-executed for the overlap
+	// check (-1 when nothing was restored).
+	VerifiedIndex int
+	// Complete reports whether every point is done (false under
+	// MaxPoints).
+	Complete bool
+	// SummarySHA is the campaign digest from the summary line (set when
+	// Complete).
+	SummarySHA string
+}
+
+// Execute runs (or resumes) the campaign.
+func (c *Campaign[P, R]) Execute() (Outcome[R], error) {
+	var out Outcome[R]
+	out.VerifiedIndex = -1
+	if c.Ledger == nil {
+		return out, fmt.Errorf("obs: campaign %q needs a ledger", c.Name)
+	}
+	if c.Name == "" {
+		return out, fmt.Errorf("obs: campaign must be named")
+	}
+	n := len(c.Points)
+	keys := make([]string, n)
+	seen := make(map[string]int, n)
+	for i, p := range c.Points {
+		keys[i] = c.Key(i, p)
+		if prev, dup := seen[keys[i]]; dup {
+			return out, fmt.Errorf("obs: campaign %q: points %d and %d share key %q", c.Name, prev, i, keys[i])
+		}
+		seen[keys[i]] = i
+	}
+
+	// Run identity: name + caller spec + the full key list.
+	specBlob, err := json.Marshal(c.Spec)
+	if err != nil {
+		return out, fmt.Errorf("obs: campaign %q: encoding spec: %w", c.Name, err)
+	}
+	runID, err := RunID(c.Name, struct {
+		Spec json.RawMessage `json:"spec"`
+		Keys []string        `json:"keys"`
+	}{specBlob, keys})
+	if err != nil {
+		return out, err
+	}
+	out.RunID = runID
+
+	// Resume: restore completed points from the checkpoint file.
+	prior, err := c.Ledger.ReadIfExists(runID)
+	if err != nil {
+		return out, err
+	}
+	restored := make(map[int]json.RawMessage, n)
+	var priorSummary *Summary
+	seqBase := 0
+	if prior != nil {
+		if err := c.Ledger.Repair(prior); err != nil {
+			return out, err
+		}
+		seqBase = len(prior.Lines)
+		if h, ok := prior.Header(); ok && h.Name != c.Name {
+			return out, fmt.Errorf("obs: run %s belongs to campaign %q, not %q", runID, h.Name, c.Name)
+		}
+		pts, err := prior.Points()
+		if err != nil {
+			return out, err
+		}
+		for _, p := range pts {
+			if p.Index < 0 || p.Index >= n || keys[p.Index] != p.Key {
+				return out, fmt.Errorf("obs: run %s records point %d key %q, campaign has %d points (shape drift under an unchanged run ID)",
+					runID, p.Index, p.Key, n)
+			}
+			restored[p.Index] = p.Result
+		}
+		if s, ok := prior.Summary(); ok {
+			priorSummary = s
+		}
+	}
+
+	// Overlap verification: re-run one restored point and require its
+	// fresh result to reproduce the recorded bytes.
+	if len(restored) > 0 {
+		idxs := make([]int, 0, len(restored))
+		for i := 0; i < n; i++ {
+			if _, done := restored[i]; done {
+				idxs = append(idxs, i)
+			}
+		}
+		probe := idxs[len(idxs)/2]
+		fresh, err := json.Marshal(c.Run(probe, c.Points[probe]))
+		if err != nil {
+			return out, fmt.Errorf("obs: campaign %q: encoding verification result: %w", c.Name, err)
+		}
+		if !bytes.Equal(fresh, restored[probe]) {
+			return out, fmt.Errorf("obs: campaign %q point %d (%s) no longer reproduces its ledger recording — the point function or its inputs drifted:\nrecorded %s\nfresh    %s",
+				c.Name, probe, keys[probe], restored[probe], fresh)
+		}
+		out.VerifiedIndex = probe
+	}
+	out.Restored = len(restored)
+
+	pending := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if _, done := restored[i]; !done {
+			pending = append(pending, i)
+		}
+	}
+	if c.MaxPoints > 0 && c.MaxPoints < len(pending) {
+		pending = pending[:c.MaxPoints]
+	}
+
+	w, err := c.Ledger.Append(runID, seqBase)
+	if err != nil {
+		return out, err
+	}
+	defer w.Close()
+	if prior == nil || len(prior.Lines) == 0 {
+		if err := w.Write(KindHeader, Header{Name: c.Name, Points: n, Spec: specBlob}, c.Host); err != nil {
+			return out, err
+		}
+	}
+
+	// Execute the pending points; every completion checkpoints before the
+	// campaign moves on, so a kill loses at most in-flight points.
+	resultJSON := make([]json.RawMessage, n)
+	for i := 0; i < n; i++ {
+		if blob, done := restored[i]; done {
+			resultJSON[i] = blob
+		}
+	}
+	errs := make([]error, n)
+	sweep.RunIndices(c.Workers, pending, func(i int) {
+		var t0 int64
+		if c.Clock != nil {
+			t0 = c.Clock()
+		}
+		blob, err := json.Marshal(c.Run(i, c.Points[i]))
+		if err != nil {
+			errs[i] = fmt.Errorf("obs: campaign %q: encoding point %d result: %w", c.Name, i, err)
+			return
+		}
+		resultJSON[i] = blob
+		host := c.Host
+		if c.Clock != nil {
+			stamped := HostInfo{}
+			if host != nil {
+				stamped = *host
+			}
+			now := c.Clock()
+			stamped.UnixNS = now
+			stamped.WallNS = now - t0
+			host = &stamped
+		}
+		errs[i] = w.Write(KindPoint, Point{Index: i, Key: keys[i], Result: blob}, host)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	out.Fresh = len(pending)
+	out.Complete = out.Restored+out.Fresh == n
+	if !out.Complete {
+		return out, nil
+	}
+
+	// Summary: index-ordered digests, identical for any completion order.
+	sum := Summary{Points: n, Digests: make([]PointDigest, n)}
+	var all bytes.Buffer
+	for i := 0; i < n; i++ {
+		d := PointDigest{Index: i, Key: keys[i], SHA256: digestBytes(resultJSON[i])}
+		sum.Digests[i] = d
+		fmt.Fprintf(&all, "%d %s %s\n", d.Index, d.Key, d.SHA256)
+	}
+	sum.SHA256 = digestBytes(all.Bytes())
+	out.SummarySHA = sum.SHA256
+	if priorSummary != nil {
+		if priorSummary.SHA256 != sum.SHA256 {
+			return out, fmt.Errorf("obs: run %s summary digest %s does not match the recorded %s",
+				runID, sum.SHA256, priorSummary.SHA256)
+		}
+	} else if err := w.Write(KindSummary, sum, c.Host); err != nil {
+		return out, err
+	}
+
+	// Canonicalize every result through its JSON encoding, restored and
+	// fresh alike, so resumed campaigns deep-equal uninterrupted ones.
+	out.Results = make([]R, n)
+	for i := 0; i < n; i++ {
+		if err := json.Unmarshal(resultJSON[i], &out.Results[i]); err != nil {
+			return out, fmt.Errorf("obs: campaign %q: decoding point %d result: %w", c.Name, i, err)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,285 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func readFileT(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func writeFileT(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustOpen(t *testing.T) *Ledger {
+	t.Helper()
+	l, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// pointResult is a stand-in for a sweep point's outcome: enough structure
+// (nested slice, counters) to catch canonicalization bugs.
+type pointResult struct {
+	Key    string   `json:"key"`
+	Sum    uint64   `json:"sum"`
+	Series []uint64 `json:"series"`
+}
+
+// testCampaign builds a deterministic 12-point campaign over the given
+// ledger. The point function is pure arithmetic on the index, so every
+// execution anywhere reproduces the same results.
+func testCampaign(l *Ledger, workers, maxPoints int) *Campaign[int, pointResult] {
+	points := make([]int, 12)
+	for i := range points {
+		points[i] = (i + 1) * 7
+	}
+	return &Campaign[int, pointResult]{
+		Name:   "obs-test",
+		Spec:   map[string]int{"scale": 7},
+		Points: points,
+		Key:    func(i int, p int) string { return fmt.Sprintf("pt-%03d", p) },
+		Run: func(i int, p int) pointResult {
+			series := make([]uint64, 4)
+			var sum uint64
+			for j := range series {
+				series[j] = uint64(p)*uint64(j+1) + uint64(i)
+				sum += series[j]
+			}
+			return pointResult{Key: fmt.Sprintf("pt-%03d", p), Sum: sum, Series: series}
+		},
+		Workers:   workers,
+		MaxPoints: maxPoints,
+		Ledger:    l,
+	}
+}
+
+func TestCampaignUninterrupted(t *testing.T) {
+	l, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := testCampaign(l, 1, 0).Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Complete || out.Fresh != 12 || out.Restored != 0 || out.VerifiedIndex != -1 {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if len(out.Results) != 12 || out.Results[3].Sum == 0 {
+		t.Fatalf("results = %+v", out.Results)
+	}
+	if out.SummarySHA == "" {
+		t.Fatal("no summary digest")
+	}
+	r, err := l.Read(out.RunID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// header + 12 points + summary
+	if len(r.Lines) != 14 {
+		t.Fatalf("ledger has %d lines, want 14", len(r.Lines))
+	}
+	s, ok := r.Summary()
+	if !ok || s.SHA256 != out.SummarySHA || s.Points != 12 {
+		t.Fatalf("summary = %+v, %v", s, ok)
+	}
+}
+
+// TestCampaignKillAndResume is the headline property: a campaign stopped
+// halfway (MaxPoints is the deterministic stand-in for a kill; the torn
+// tail case is covered separately) and then resumed produces results and a
+// summary digest byte-identical to an uninterrupted run, at every worker
+// count, with the overlap point re-verified.
+func TestCampaignKillAndResume(t *testing.T) {
+	// Reference: uninterrupted serial run.
+	refLedger, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := testCampaign(refLedger, 1, 0).Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 2, 7} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			l, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Phase 1: killed at 50%.
+			half, err := testCampaign(l, workers, 6).Execute()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if half.Complete || half.Fresh != 6 || half.Results != nil {
+				t.Fatalf("interrupted outcome = %+v", half)
+			}
+			// Phase 2: resume to completion.
+			out, err := testCampaign(l, workers, 0).Execute()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !out.Complete || out.Restored != 6 || out.Fresh != 6 {
+				t.Fatalf("resumed outcome = %+v", out)
+			}
+			if out.VerifiedIndex < 0 {
+				t.Error("resume skipped the overlap verification")
+			}
+			if out.RunID != ref.RunID {
+				t.Errorf("resumed run ID %s != reference %s", out.RunID, ref.RunID)
+			}
+			if out.SummarySHA != ref.SummarySHA {
+				t.Errorf("summary digest diverged: %s vs %s", out.SummarySHA, ref.SummarySHA)
+			}
+			if !reflect.DeepEqual(out.Results, ref.Results) {
+				t.Errorf("results diverged from the uninterrupted run:\n%+v\n%+v", out.Results, ref.Results)
+			}
+			// Phase 3: a re-execution of the complete campaign restores
+			// everything, verifies one point, runs nothing and does not
+			// write a second summary.
+			again, err := testCampaign(l, workers, 0).Execute()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !again.Complete || again.Restored != 12 || again.Fresh != 0 {
+				t.Fatalf("re-execution outcome = %+v", again)
+			}
+			if !reflect.DeepEqual(again.Results, ref.Results) {
+				t.Error("re-execution results diverged")
+			}
+			r, err := l.Read(out.RunID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			summaries := 0
+			for _, line := range r.Lines {
+				if line.Kind == KindSummary {
+					summaries++
+				}
+			}
+			if summaries != 1 {
+				t.Errorf("ledger holds %d summaries, want 1", summaries)
+			}
+		})
+	}
+}
+
+// TestCampaignOverlapVerificationCatchesDrift: if the point function stops
+// reproducing its recorded results (code drift, nondeterminism), resume
+// must fail loudly instead of stitching incompatible halves together.
+func TestCampaignOverlapVerificationCatchesDrift(t *testing.T) {
+	l, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := testCampaign(l, 2, 6).Execute(); err != nil {
+		t.Fatal(err)
+	}
+	drifted := testCampaign(l, 2, 0)
+	inner := drifted.Run
+	drifted.Run = func(i int, p int) pointResult {
+		r := inner(i, p)
+		r.Sum++ // the drift
+		return r
+	}
+	_, err = drifted.Execute()
+	if err == nil {
+		t.Fatal("drifted point function resumed without error")
+	}
+	if !strings.Contains(err.Error(), "no longer reproduces") {
+		t.Errorf("unhelpful drift error: %v", err)
+	}
+}
+
+func TestCampaignDuplicateKeysRejected(t *testing.T) {
+	l, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := testCampaign(l, 1, 0)
+	c.Key = func(i int, p int) string { return "same" }
+	if _, err := c.Execute(); err == nil {
+		t.Error("duplicate point keys accepted")
+	}
+}
+
+func TestCampaignSpecChangesRunID(t *testing.T) {
+	l, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := testCampaign(l, 1, 0)
+	b := testCampaign(l, 1, 0)
+	b.Spec = map[string]int{"scale": 8}
+	outA, err := a.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	outB, err := b.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outA.RunID == outB.RunID {
+		t.Error("different specs share a run ID (checkpoint collision)")
+	}
+	runs, err := l.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Errorf("ledger lists %d runs, want 2", len(runs))
+	}
+}
+
+// TestCampaignResumeAfterTornTail: a genuinely torn checkpoint (killed
+// mid-append) resumes cleanly — the torn point re-runs.
+func TestCampaignResumeAfterTornTail(t *testing.T) {
+	l, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := testCampaign(l, 1, 6).Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last recorded line in half.
+	path := l.Path(half.RunID)
+	data := readFileT(t, path)
+	cut := len(data) - 20
+	writeFileT(t, path, data[:cut])
+
+	out, err := testCampaign(l, 1, 0).Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Complete {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if out.Restored != 5 || out.Fresh != 7 {
+		t.Errorf("restored=%d fresh=%d, want 5/7 (torn point re-run)", out.Restored, out.Fresh)
+	}
+	ref, err := testCampaign(mustOpen(t), 1, 0).Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SummarySHA != ref.SummarySHA || !reflect.DeepEqual(out.Results, ref.Results) {
+		t.Error("post-tear resume diverged from the uninterrupted run")
+	}
+}

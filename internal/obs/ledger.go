@@ -1,0 +1,370 @@
+// Package obs is the campaign observability plane: the run ledger every
+// experiment appends its provenance to, the checkpointed resumable
+// campaign driver over internal/sweep, and the noise-aware benchmark
+// regression comparison behind cmd/bbbregress.
+//
+// The ledger is a directory of JSON-lines files, one per run, named by a
+// deterministic run ID (a content hash of the run's identity — name, spec
+// and point keys — so a resumed campaign finds its own checkpoint file and
+// two different campaigns can never collide). Every line carries the
+// schema version and splits into a deterministic payload ("det") and an
+// optional host section ("host": wall-clock, hostname, CPU count) that is
+// never part of run identity, deep-equal verification or summary digests —
+// the same discipline BENCH_*.json follows by keeping goos/cpu out of the
+// result metrics.
+//
+// This package is detlint-clean like the simulator tiers: it never reads
+// the wall clock or the host environment itself — callers in cmd/ capture
+// a HostInfo and a clock function and pass them in, so everything obs
+// computes from its inputs is byte-reproducible.
+package obs
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// SchemaVersion is the wire format of ledger lines. Bump it whenever a
+// field changes meaning; readers reject versions they do not understand
+// instead of misreading them (mirroring crashmc.WitnessSchemaVersion).
+const SchemaVersion = 1
+
+// Line kinds.
+const (
+	KindHeader  = "header"  // first line of a run: name + spec
+	KindPoint   = "point"   // one completed campaign point
+	KindSummary = "summary" // end of a complete campaign: sorted digests
+	KindBench   = "bench"   // a benchmark recording (cmd/benchjson -ledger)
+	KindRegress = "regress" // a regression comparison (cmd/bbbregress)
+)
+
+// HostInfo is the non-deterministic section of a ledger line: where and
+// when the run physically happened. It is recorded for provenance and
+// excluded from run identity, digests and deep-equal comparisons.
+type HostInfo struct {
+	Hostname string `json:"hostname,omitempty"`
+	GOOS     string `json:"goos,omitempty"`
+	GOARCH   string `json:"goarch,omitempty"`
+	CPUs     int    `json:"cpus,omitempty"`
+	// UnixNS is the wall-clock stamp in nanoseconds since the epoch.
+	UnixNS int64 `json:"unix_ns,omitempty"`
+	// WallNS is the measured wall-clock duration of the unit the line
+	// records (a point's execution, a whole bench run).
+	WallNS int64 `json:"wall_ns,omitempty"`
+}
+
+// Line is one ledger record.
+type Line struct {
+	SchemaVersion int    `json:"schema_version"`
+	Run           string `json:"run"`
+	Seq           int    `json:"seq"`
+	Kind          string `json:"kind"`
+	// Det is the deterministic payload: a Header, Point or Summary for
+	// campaigns, or a tool-defined document for bench/regress lines.
+	Det json.RawMessage `json:"det,omitempty"`
+	// Host is the provenance stamp; never compared.
+	Host *HostInfo `json:"host,omitempty"`
+}
+
+// Header is the det payload of a run's first line.
+type Header struct {
+	Name string `json:"name"`
+	// Points is the campaign's point count (0 for bench/regress runs).
+	Points int `json:"points,omitempty"`
+	// Spec is the caller's run specification, verbatim.
+	Spec json.RawMessage `json:"spec,omitempty"`
+}
+
+// Point is the det payload of one completed campaign point.
+type Point struct {
+	Index int `json:"index"`
+	// Key is the point's stable identity within the campaign.
+	Key string `json:"key"`
+	// Result is the point's JSON-encoded outcome; resume decodes it back
+	// instead of re-running the point.
+	Result json.RawMessage `json:"result"`
+}
+
+// PointDigest names one point inside a Summary.
+type PointDigest struct {
+	Index int    `json:"index"`
+	Key   string `json:"key"`
+	// SHA256 digests the point's Result bytes.
+	SHA256 string `json:"sha256"`
+}
+
+// Summary is the det payload of a completed campaign's final line. It is
+// assembled in index order whatever order points completed in, so
+// interrupted-and-resumed campaigns write byte-identical summaries at any
+// sweep worker count.
+type Summary struct {
+	Points  int           `json:"points"`
+	Digests []PointDigest `json:"digests"`
+	// SHA256 digests the concatenated per-point digests: one line to
+	// compare two whole campaigns.
+	SHA256 string `json:"sha256"`
+}
+
+// RunID derives the deterministic run identity: a hex-truncated SHA-256
+// over the schema version, the run name and the canonical JSON of spec.
+// Campaign drivers fold the point keys into spec, so any change to the
+// sweep's shape yields a fresh run (and a fresh checkpoint file).
+func RunID(name string, spec any) (string, error) {
+	blob, err := json.Marshal(struct {
+		SchemaVersion int    `json:"schema_version"`
+		Name          string `json:"name"`
+		Spec          any    `json:"spec"`
+	}{SchemaVersion, name, spec})
+	if err != nil {
+		return "", fmt.Errorf("obs: hashing run identity: %w", err)
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:])[:16], nil
+}
+
+// Ledger is a directory of run files.
+type Ledger struct {
+	dir string
+}
+
+// Open creates (if needed) and opens a ledger directory.
+func Open(dir string) (*Ledger, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("obs: ledger directory must be named")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("obs: opening ledger: %w", err)
+	}
+	return &Ledger{dir: dir}, nil
+}
+
+// Dir returns the ledger directory.
+func (l *Ledger) Dir() string { return l.dir }
+
+// Path returns the run file backing runID.
+func (l *Ledger) Path(runID string) string {
+	return filepath.Join(l.dir, runID+".jsonl")
+}
+
+// Runs lists the ledger's run IDs, sorted.
+func (l *Ledger) Runs() ([]string, error) {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listing ledger: %w", err)
+	}
+	var runs []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".jsonl") {
+			continue
+		}
+		runs = append(runs, strings.TrimSuffix(name, ".jsonl"))
+	}
+	sort.Strings(runs)
+	return runs, nil
+}
+
+// Run is one read-back run file.
+type Run struct {
+	ID    string
+	Lines []Line
+	// Truncated reports that the file ended in a partial line — the run
+	// was killed mid-append. The partial line is dropped; everything
+	// before it is intact (appends are single atomic writes).
+	Truncated bool
+	// CleanLen is the byte length of the intact prefix (the whole file
+	// unless Truncated). Repair truncates to it before further appends, so
+	// new lines never concatenate onto a torn tail.
+	CleanLen int64
+}
+
+// Read loads run runID. A missing file is an error; use ReadIfExists for
+// resume probes.
+func (l *Ledger) Read(runID string) (*Run, error) {
+	return readRunFile(l.Path(runID), runID)
+}
+
+// ReadIfExists loads run runID, or returns (nil, nil) when the run has no
+// file yet.
+func (l *Ledger) ReadIfExists(runID string) (*Run, error) {
+	r, err := readRunFile(l.Path(runID), runID)
+	if err != nil && os.IsNotExist(err) {
+		return nil, nil
+	}
+	return r, err
+}
+
+func readRunFile(path, runID string) (*Run, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	run := &Run{ID: runID}
+	rest := data
+	for len(rest) > 0 {
+		nl := bytes.IndexByte(rest, '\n')
+		var raw []byte
+		if nl < 0 {
+			// No trailing newline: the writer died mid-append. Tolerate
+			// the torn tail so the run stays resumable.
+			run.Truncated = true
+			break
+		}
+		raw, rest = rest[:nl], rest[nl+1:]
+		if len(bytes.TrimSpace(raw)) == 0 {
+			run.CleanLen = int64(len(data) - len(rest))
+			continue
+		}
+		var line Line
+		if err := json.Unmarshal(raw, &line); err != nil {
+			if len(rest) == 0 {
+				// A torn final line that happens to end in '\n' worth of
+				// garbage; drop it like the no-newline case.
+				run.Truncated = true
+				break
+			}
+			return nil, fmt.Errorf("obs: %s line %d: %w", path, len(run.Lines)+1, err)
+		}
+		if line.SchemaVersion != SchemaVersion {
+			return nil, fmt.Errorf("obs: %s line %d: schema version %d, this reader understands %d",
+				path, len(run.Lines)+1, line.SchemaVersion, SchemaVersion)
+		}
+		run.Lines = append(run.Lines, line)
+		run.CleanLen = int64(len(data) - len(rest))
+	}
+	return run, nil
+}
+
+// Repair truncates a torn run file back to its intact prefix so further
+// appends start on a fresh line instead of concatenating onto the torn
+// tail. A no-op for clean runs.
+func (l *Ledger) Repair(r *Run) error {
+	if r == nil || !r.Truncated {
+		return nil
+	}
+	if err := os.Truncate(l.Path(r.ID), r.CleanLen); err != nil {
+		return fmt.Errorf("obs: repairing torn run %s: %w", r.ID, err)
+	}
+	r.Truncated = false
+	return nil
+}
+
+// Header decodes the run's header line, if present.
+func (r *Run) Header() (*Header, bool) {
+	for _, l := range r.Lines {
+		if l.Kind == KindHeader {
+			var h Header
+			if json.Unmarshal(l.Det, &h) == nil {
+				return &h, true
+			}
+			return nil, false
+		}
+	}
+	return nil, false
+}
+
+// Points decodes every point line, in file (completion) order.
+func (r *Run) Points() ([]Point, error) {
+	var pts []Point
+	for i, l := range r.Lines {
+		if l.Kind != KindPoint {
+			continue
+		}
+		var p Point
+		if err := json.Unmarshal(l.Det, &p); err != nil {
+			return nil, fmt.Errorf("obs: run %s line %d: decoding point: %w", r.ID, i+1, err)
+		}
+		pts = append(pts, p)
+	}
+	return pts, nil
+}
+
+// Summary decodes the run's summary line, if present.
+func (r *Run) Summary() (*Summary, bool) {
+	for _, l := range r.Lines {
+		if l.Kind == KindSummary {
+			var s Summary
+			if json.Unmarshal(l.Det, &s) == nil {
+				return &s, true
+			}
+			return nil, false
+		}
+	}
+	return nil, false
+}
+
+// Writer appends lines to one run file. It is safe for concurrent use by
+// sweep workers: each Append is one locked, newline-terminated write.
+type Writer struct {
+	runID string
+
+	mu  sync.Mutex
+	f   *os.File
+	seq int
+}
+
+// Append opens run runID's file for appending, creating it if needed.
+// seqBase seeds the line sequence (pass the number of lines already read
+// back when resuming).
+func (l *Ledger) Append(runID string, seqBase int) (*Writer, error) {
+	f, err := os.OpenFile(l.Path(runID), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("obs: opening run %s for append: %w", runID, err)
+	}
+	return &Writer{runID: runID, f: f, seq: seqBase}, nil
+}
+
+// Write appends one line of the given kind. det is marshalled as the
+// deterministic payload; host (may be nil) is the provenance stamp.
+func (w *Writer) Write(kind string, det any, host *HostInfo) error {
+	blob, err := json.Marshal(det)
+	if err != nil {
+		return fmt.Errorf("obs: encoding %s det payload: %w", kind, err)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	line := Line{
+		SchemaVersion: SchemaVersion,
+		Run:           w.runID,
+		Seq:           w.seq,
+		Kind:          kind,
+		Det:           blob,
+		Host:          host,
+	}
+	out, err := json.Marshal(line)
+	if err != nil {
+		return fmt.Errorf("obs: encoding %s line: %w", kind, err)
+	}
+	out = append(out, '\n')
+	if _, err := w.f.Write(out); err != nil {
+		return fmt.Errorf("obs: appending to run %s: %w", w.runID, err)
+	}
+	w.seq++
+	return nil
+}
+
+// Close flushes and closes the run file.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// digestBytes is the one digest formula the plane uses everywhere.
+func digestBytes(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

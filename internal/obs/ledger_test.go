@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLedgerRoundTrip(t *testing.T) {
+	l, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runID, err := RunID("round-trip", map[string]int{"points": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := l.Append(runID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := &HostInfo{Hostname: "testhost", GOOS: "linux", CPUs: 8, UnixNS: 12345}
+	if err := w.Write(KindHeader, Header{Name: "round-trip", Points: 2}, host); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		blob, _ := json.Marshal(map[string]int{"value": i * 10})
+		if err := w.Write(KindPoint, Point{Index: i, Key: "p" + string(rune('a'+i)), Result: blob}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	runs, err := l.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 || runs[0] != runID {
+		t.Fatalf("Runs() = %v, want [%s]", runs, runID)
+	}
+	r, err := l.Read(runID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Truncated {
+		t.Error("clean file read back as truncated")
+	}
+	if len(r.Lines) != 3 {
+		t.Fatalf("read %d lines, want 3", len(r.Lines))
+	}
+	for i, line := range r.Lines {
+		if line.Seq != i {
+			t.Errorf("line %d has seq %d", i, line.Seq)
+		}
+		if line.Run != runID {
+			t.Errorf("line %d has run %q", i, line.Run)
+		}
+	}
+	h, ok := r.Header()
+	if !ok || h.Name != "round-trip" || h.Points != 2 {
+		t.Fatalf("Header() = %+v, %v", h, ok)
+	}
+	if r.Lines[0].Host == nil || r.Lines[0].Host.Hostname != "testhost" {
+		t.Errorf("host stamp lost: %+v", r.Lines[0].Host)
+	}
+	pts, err := r.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[1].Key != "pb" {
+		t.Fatalf("Points() = %+v", pts)
+	}
+	var decoded map[string]int
+	if err := json.Unmarshal(pts[1].Result, &decoded); err != nil || decoded["value"] != 10 {
+		t.Errorf("point result lost: %v %v", decoded, err)
+	}
+}
+
+// TestLedgerSchemaVersionReject mirrors the crashmc witness discipline: a
+// ledger line from a future (or corrupted) schema version is an error, not
+// a silently misread record.
+func TestLedgerSchemaVersionReject(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	future := `{"schema_version":99,"run":"deadbeef","seq":0,"kind":"header"}` + "\n" +
+		`{"schema_version":99,"run":"deadbeef","seq":1,"kind":"point"}` + "\n"
+	if err := os.WriteFile(l.Path("deadbeef"), []byte(future), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = l.Read("deadbeef")
+	if err == nil {
+		t.Fatal("reader accepted schema version 99")
+	}
+	if !strings.Contains(err.Error(), "schema version 99") {
+		t.Errorf("unhelpful schema error: %v", err)
+	}
+}
+
+// TestLedgerTornTail covers the kill-mid-append case: a run file whose last
+// line was cut off mid-write reads back Truncated with every complete line
+// intact, so the campaign can resume from it.
+func TestLedgerTornTail(t *testing.T) {
+	l, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := l.Append("torn", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(KindHeader, Header{Name: "torn", Points: 3}, nil); err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := json.Marshal(map[string]int{"v": 1})
+	if err := w.Write(KindPoint, Point{Index: 0, Key: "a", Result: blob}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the tail: append half a line with no newline.
+	f, err := os.OpenFile(l.Path("torn"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"schema_version":1,"run":"torn","seq":2,"ki`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	r, err := l.Read("torn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Truncated {
+		t.Error("torn tail not reported")
+	}
+	if len(r.Lines) != 2 {
+		t.Fatalf("read %d lines, want the 2 intact ones", len(r.Lines))
+	}
+
+	// A torn tail that does end in a newline (garbage final line) is also
+	// tolerated.
+	if err := os.WriteFile(filepath.Join(l.Dir(), "torn2.jsonl"),
+		[]byte(`{"schema_version":1,"run":"torn2","seq":0,"kind":"header","det":{"name":"x"}}`+"\n"+`{"schem`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := l.Read("torn2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Truncated || len(r2.Lines) != 1 {
+		t.Fatalf("garbage final line: truncated=%v lines=%d", r2.Truncated, len(r2.Lines))
+	}
+
+	// Garbage in the middle is corruption, not a torn tail.
+	if err := os.WriteFile(filepath.Join(l.Dir(), "bad.jsonl"),
+		[]byte(`{"schem`+"\n"+`{"schema_version":1,"run":"bad","seq":1,"kind":"point"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Read("bad"); err == nil {
+		t.Error("mid-file corruption read back without error")
+	}
+}
+
+func TestLedgerReadIfExists(t *testing.T) {
+	l, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := l.ReadIfExists("nothere")
+	if err != nil || r != nil {
+		t.Fatalf("ReadIfExists on missing run = %v, %v", r, err)
+	}
+	if _, err := l.Read("nothere"); err == nil {
+		t.Error("Read on missing run did not error")
+	}
+}
+
+func TestRunIDDeterministic(t *testing.T) {
+	a, err := RunID("camp", map[string]any{"grid": []int{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunID("camp", map[string]any{"grid": []int{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same identity hashed differently: %s vs %s", a, b)
+	}
+	c, _ := RunID("camp", map[string]any{"grid": []int{1, 2, 4}})
+	if a == c {
+		t.Error("different specs collided")
+	}
+	d, _ := RunID("camp2", map[string]any{"grid": []int{1, 2, 3}})
+	if a == d {
+		t.Error("different names collided")
+	}
+	if len(a) != 16 {
+		t.Errorf("run ID %q is not 16 hex chars", a)
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Error("Open(\"\") succeeded")
+	}
+}

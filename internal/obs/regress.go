@@ -1,0 +1,335 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Noise-aware benchmark regression comparison. The BENCH_*.json trajectory
+// gives each (benchmark, metric) pair a history of values from different
+// sessions on different hosts; the comparison asks whether the candidate
+// run sits outside the noise band of that history, not whether it moved at
+// all. The band is median ± K·MADσ, where MADσ = 1.4826 × the median
+// absolute deviation — a robust spread estimate a single outlier session
+// cannot inflate — floored at a relative fraction of the median so a
+// history of identical values (MAD 0, common for allocs/op) still tolerates
+// rounding jitter.
+//
+// Metrics whose history is itself noisy (any point further than StableCoV
+// from the median) never gate: wall-clock throughput varies ~2x across the recorded
+// sessions, and failing a PR for losing a coin toss would train everyone to
+// ignore the gate. Those metrics still appear in the report as
+// informational deltas; deterministic metrics (allocs/op, simulated
+// counters) pass the stability test and gate hard.
+
+// Direction classifies how a metric ought to move.
+type Direction int
+
+const (
+	// HigherBetter: throughput-like ("/s" suffixed) metrics.
+	HigherBetter Direction = iota
+	// LowerBetter: cost-like metrics (ns/op, B/op, allocs/op, *_pct).
+	LowerBetter
+	// Informational: unknown direction; reported, never gated.
+	Informational
+)
+
+func (d Direction) String() string {
+	switch d {
+	case HigherBetter:
+		return "higher-better"
+	case LowerBetter:
+		return "lower-better"
+	default:
+		return "informational"
+	}
+}
+
+// MetricDirection infers a metric's direction from its name, following the
+// repo's naming discipline: rates end in "/s", costs are the Go bench
+// suffixes or a _pct share.
+func MetricDirection(name string) Direction {
+	switch {
+	case strings.HasSuffix(name, "/s"):
+		return HigherBetter
+	case name == "ns/op" || name == "B/op" || name == "allocs/op",
+		strings.HasSuffix(name, "_pct"):
+		return LowerBetter
+	default:
+		return Informational
+	}
+}
+
+// RegressOptions tunes the comparison.
+type RegressOptions struct {
+	// K scales the MADσ band (default 4).
+	K float64
+	// Floor is the minimum relative threshold as a fraction of |median|
+	// (default 0.02): histories with zero spread still tolerate 2%.
+	Floor float64
+	// StableCoV is the maximum relative history deviation for a metric to
+	// gate (default 0.10): every history point must sit within this
+	// fraction of the median. Max-deviation, not MADσ, because short
+	// histories with one wild session can still show a small MAD.
+	// Noisier metrics are reported, never failed.
+	StableCoV float64
+	// MinHistory is the number of history points required before a metric
+	// is judged at all (default 2).
+	MinHistory int
+}
+
+func (o *RegressOptions) fill() {
+	if o.K == 0 {
+		o.K = 4
+	}
+	if o.Floor == 0 {
+		o.Floor = 0.02
+	}
+	if o.StableCoV == 0 {
+		o.StableCoV = 0.10
+	}
+	if o.MinHistory == 0 {
+		o.MinHistory = 2
+	}
+}
+
+// Verdicts.
+const (
+	VerdictOK         = "ok"         // inside the noise band
+	VerdictImproved   = "improved"   // outside the band, in the good direction
+	VerdictRegressed  = "regressed"  // outside the band, in the bad direction, stable history
+	VerdictSuspect    = "suspect"    // outside the band, bad direction, but history too noisy to gate
+	VerdictShifted    = "shifted"    // outside the band, direction unknown (informational metric)
+	VerdictNoHistory  = "no-history" // fewer than MinHistory points
+	VerdictNewMetric  = "new"        // candidate-only metric
+	VerdictGoneMetric = "gone"       // history-only metric
+)
+
+// MetricVerdict is one (benchmark, metric) judgement.
+type MetricVerdict struct {
+	Bench  string  `json:"bench"`
+	Metric string  `json:"metric"`
+	Value  float64 `json:"value"`
+	// Median and MADSigma describe the history band; Threshold is the
+	// absolute deviation that counts as a real move.
+	Median    float64 `json:"median"`
+	MADSigma  float64 `json:"mad_sigma"`
+	Threshold float64 `json:"threshold"`
+	// DeltaPct is (value-median)/|median| in percent (0 when median is 0).
+	DeltaPct  float64 `json:"delta_pct"`
+	History   int     `json:"history"`
+	Direction string  `json:"direction"`
+	// Stable reports that every history point sits within StableCoV of
+	// the median: only stable metrics gate.
+	Stable  bool   `json:"stable"`
+	Verdict string `json:"verdict"`
+}
+
+// RegressReport is the full comparison outcome: one verdict per
+// (benchmark, metric), sorted, plus the gate decision.
+type RegressReport struct {
+	Candidate string          `json:"candidate"`
+	History   []string        `json:"history"`
+	Options   RegressOptions  `json:"options"`
+	Verdicts  []MetricVerdict `json:"verdicts"`
+	// Regressions counts VerdictRegressed entries; the gate fails iff > 0.
+	Regressions int `json:"regressions"`
+	Suspects    int `json:"suspects"`
+	Improved    int `json:"improved"`
+}
+
+// Failed reports whether the gate should fail.
+func (r *RegressReport) Failed() bool { return r.Regressions > 0 }
+
+// BenchRun is one recorded benchmark session in ordered form. Callers
+// (cmd/bbbregress) flatten the BENCH_*.json "benchmarks" maps into sorted
+// slices before handing them over, so this package never iterates a map.
+type BenchRun struct {
+	Label   string
+	Benches []BenchPoint
+}
+
+// BenchPoint is one benchmark's recorded metrics.
+type BenchPoint struct {
+	Name    string
+	Metrics []BenchMetric
+}
+
+// BenchMetric is one named value.
+type BenchMetric struct {
+	Name  string
+	Value float64
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// madSigma is the MAD-derived robust σ estimate: 1.4826 × median(|x−med|).
+func madSigma(xs []float64, med float64) float64 {
+	devs := make([]float64, len(xs))
+	for i, x := range xs {
+		d := x - med
+		if d < 0 {
+			d = -d
+		}
+		devs[i] = d
+	}
+	return 1.4826 * median(devs)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Compare judges candidate against history. Runs and metrics are matched by
+// name; the report is sorted by (bench, metric) so it is deterministic in
+// the inputs.
+func Compare(history []BenchRun, candidate BenchRun, opts RegressOptions) (*RegressReport, error) {
+	if len(history) == 0 {
+		return nil, fmt.Errorf("obs: regression comparison needs at least one history run")
+	}
+	opts.fill()
+	rep := &RegressReport{Candidate: candidate.Label, Options: opts}
+	for _, h := range history {
+		rep.History = append(rep.History, h.Label)
+	}
+
+	// The judged key space is the union of (bench, metric) pairs across
+	// every run, in input order, deduplicated with a set, then sorted —
+	// deterministic without ever ranging a map.
+	type key struct{ bench, metric string }
+	keySet := make(map[key]bool)
+	var keys []key
+	index := func(run BenchRun) map[key]float64 {
+		vals := make(map[key]float64)
+		for _, b := range run.Benches {
+			for _, m := range b.Metrics {
+				k := key{b.Name, m.Name}
+				vals[k] = m.Value
+				if !keySet[k] {
+					keySet[k] = true
+					keys = append(keys, k)
+				}
+			}
+		}
+		return vals
+	}
+	histVals := make([]map[key]float64, len(history))
+	for i, h := range history {
+		histVals[i] = index(h)
+	}
+	candVals := index(candidate)
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].bench != keys[j].bench {
+			return keys[i].bench < keys[j].bench
+		}
+		return keys[i].metric < keys[j].metric
+	})
+
+	for _, k := range keys {
+		var hist []float64
+		for _, hv := range histVals {
+			if v, ok := hv[k]; ok {
+				hist = append(hist, v)
+			}
+		}
+		cand, inCand := candVals[k]
+		v := MetricVerdict{
+			Bench:     k.bench,
+			Metric:    k.metric,
+			Value:     cand,
+			History:   len(hist),
+			Direction: MetricDirection(k.metric).String(),
+		}
+		switch {
+		case !inCand:
+			v.Verdict = VerdictGoneMetric
+		case len(hist) == 0:
+			v.Verdict = VerdictNewMetric
+		case len(hist) < opts.MinHistory:
+			v.Verdict = VerdictNoHistory
+			v.Median = median(hist)
+		default:
+			med := median(hist)
+			sigma := madSigma(hist, med)
+			threshold := opts.K * sigma
+			if floor := opts.Floor * abs(med); threshold < floor {
+				threshold = floor
+			}
+			v.Median = med
+			v.MADSigma = sigma
+			v.Threshold = threshold
+			if med != 0 {
+				v.DeltaPct = 100 * (cand - med) / abs(med)
+			}
+			maxDev := 0.0
+			for _, x := range hist {
+				if d := abs(x - med); d > maxDev {
+					maxDev = d
+				}
+			}
+			v.Stable = med != 0 && maxDev/abs(med) <= opts.StableCoV
+			delta := cand - med
+			dir := MetricDirection(k.metric)
+			switch {
+			case abs(delta) <= threshold:
+				v.Verdict = VerdictOK
+			case dir == Informational:
+				v.Verdict = VerdictShifted
+			case (dir == HigherBetter && delta > 0) || (dir == LowerBetter && delta < 0):
+				v.Verdict = VerdictImproved
+			case v.Stable:
+				v.Verdict = VerdictRegressed
+			default:
+				v.Verdict = VerdictSuspect
+			}
+		}
+		switch v.Verdict {
+		case VerdictRegressed:
+			rep.Regressions++
+		case VerdictSuspect:
+			rep.Suspects++
+		case VerdictImproved:
+			rep.Improved++
+		}
+		rep.Verdicts = append(rep.Verdicts, v)
+	}
+	return rep, nil
+}
+
+// Render formats the report as the aligned table bbbregress prints.
+func (r *RegressReport) Render(all bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bbbregress: %s vs %d history runs (K=%.3g floor=%.3g stable-cov=%.3g)\n",
+		r.Candidate, len(r.History), r.Options.K, r.Options.Floor, r.Options.StableCoV)
+	fmt.Fprintf(&b, "%-44s %-14s %14s %14s %9s %-13s %s\n",
+		"benchmark", "metric", "value", "median", "delta%", "direction", "verdict")
+	for _, v := range r.Verdicts {
+		if !all && v.Verdict == VerdictOK {
+			continue
+		}
+		mark := ""
+		if !v.Stable && (v.Verdict == VerdictSuspect || v.Verdict == VerdictOK) {
+			mark = " (noisy)"
+		}
+		fmt.Fprintf(&b, "%-44s %-14s %14.6g %14.6g %+8.2f%% %-13s %s%s\n",
+			v.Bench, v.Metric, v.Value, v.Median, v.DeltaPct, v.Direction, v.Verdict, mark)
+	}
+	fmt.Fprintf(&b, "summary: %d regressed, %d suspect (noisy), %d improved, %d metrics judged\n",
+		r.Regressions, r.Suspects, r.Improved, len(r.Verdicts))
+	return b.String()
+}

@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// fixtureHistory builds a synthetic BENCH trajectory: a throughput metric
+// with ±1-2% session noise and a deterministic allocs/op metric, mirroring
+// the shapes in the real BENCH_*.json files.
+func fixtureHistory() []BenchRun {
+	mk := func(label string, stores, allocs float64) BenchRun {
+		return BenchRun{
+			Label: label,
+			Benches: []BenchPoint{{
+				Name: "BenchmarkEndToEnd/bbp",
+				Metrics: []BenchMetric{
+					{Name: "sim_stores/s", Value: stores},
+					{Name: "allocs/op", Value: allocs},
+					{Name: "flushes_total", Value: 4096},
+				},
+			}},
+		}
+	}
+	return []BenchRun{
+		mk("BENCH_0", 100_000, 210),
+		mk("BENCH_1", 101_500, 210),
+		mk("BENCH_2", 99_200, 210),
+		mk("BENCH_3", 100_800, 210),
+		mk("BENCH_4", 98_900, 210),
+	}
+}
+
+func candidate(stores, allocs float64) BenchRun {
+	return BenchRun{
+		Label: "BENCH_5",
+		Benches: []BenchPoint{{
+			Name: "BenchmarkEndToEnd/bbp",
+			Metrics: []BenchMetric{
+				{Name: "sim_stores/s", Value: stores},
+				{Name: "allocs/op", Value: allocs},
+				{Name: "flushes_total", Value: 4096},
+			},
+		}},
+	}
+}
+
+func verdictOf(t *testing.T, rep *RegressReport, metric string) MetricVerdict {
+	t.Helper()
+	for _, v := range rep.Verdicts {
+		if v.Metric == metric {
+			return v
+		}
+	}
+	t.Fatalf("metric %q not judged: %+v", metric, rep.Verdicts)
+	return MetricVerdict{}
+}
+
+// TestRegressDetectsTenPercentDrop is the acceptance fixture: a 10%
+// throughput regression against a ±2%-noise history must be confirmed and
+// fail the gate.
+func TestRegressDetectsTenPercentDrop(t *testing.T) {
+	rep, err := Compare(fixtureHistory(), candidate(90_000, 210), RegressOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := verdictOf(t, rep, "sim_stores/s")
+	if v.Verdict != VerdictRegressed {
+		t.Fatalf("10%% drop judged %q (stable=%v threshold=%.1f): %+v", v.Verdict, v.Stable, v.Threshold, v)
+	}
+	if !rep.Failed() || rep.Regressions != 1 {
+		t.Errorf("gate did not fail: %+v", rep)
+	}
+	if v.DeltaPct > -9 || v.DeltaPct < -11 {
+		t.Errorf("delta%% = %.2f, want ~-10", v.DeltaPct)
+	}
+}
+
+// TestRegressQuietOnNoise: a candidate inside the history's MAD band must
+// pass everywhere.
+func TestRegressQuietOnNoise(t *testing.T) {
+	for _, stores := range []float64{99_000, 100_000, 101_900} {
+		rep, err := Compare(fixtureHistory(), candidate(stores, 210), RegressOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Failed() {
+			t.Errorf("stores=%v failed the gate: %s", stores, rep.Render(true))
+		}
+		if v := verdictOf(t, rep, "sim_stores/s"); v.Verdict != VerdictOK {
+			t.Errorf("stores=%v judged %q", stores, v.Verdict)
+		}
+	}
+}
+
+// TestRegressNoisyHistoryNeverGates: when the history itself swings (like
+// the real cross-session sim_stores/s trajectory), a bad-direction outlier
+// is reported as suspect, not failed.
+func TestRegressNoisyHistoryNeverGates(t *testing.T) {
+	noisy := []BenchRun{
+		{Label: "H0", Benches: []BenchPoint{{Name: "B", Metrics: []BenchMetric{{Name: "sim_stores/s", Value: 299_000}}}}},
+		{Label: "H1", Benches: []BenchPoint{{Name: "B", Metrics: []BenchMetric{{Name: "sim_stores/s", Value: 449_000}}}}},
+		{Label: "H2", Benches: []BenchPoint{{Name: "B", Metrics: []BenchMetric{{Name: "sim_stores/s", Value: 428_000}}}}},
+	}
+	cand := BenchRun{Label: "C", Benches: []BenchPoint{{Name: "B", Metrics: []BenchMetric{{Name: "sim_stores/s", Value: 250_000}}}}}
+	rep, err := Compare(noisy, cand, RegressOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := verdictOf(t, rep, "sim_stores/s")
+	if v.Stable {
+		t.Errorf("swinging history judged stable: %+v", v)
+	}
+	if v.Verdict != VerdictSuspect {
+		t.Errorf("noisy-history outlier judged %q, want suspect", v.Verdict)
+	}
+	if rep.Failed() {
+		t.Error("noisy metric failed the gate")
+	}
+}
+
+// TestRegressAllocsGateDeterministically: allocs/op has zero history
+// spread, so even a small confirmed increase regresses (the Floor sets the
+// tolerance) and a decrease improves.
+func TestRegressAllocsGateDeterministically(t *testing.T) {
+	rep, err := Compare(fixtureHistory(), candidate(100_000, 230), RegressOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := verdictOf(t, rep, "allocs/op"); v.Verdict != VerdictRegressed {
+		t.Errorf("+9.5%% allocs judged %q", v.Verdict)
+	}
+	rep, err = Compare(fixtureHistory(), candidate(100_000, 212), RegressOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := verdictOf(t, rep, "allocs/op"); v.Verdict != VerdictOK {
+		t.Errorf("+1%% allocs (inside the 2%% floor) judged %q", v.Verdict)
+	}
+	rep, err = Compare(fixtureHistory(), candidate(100_000, 180), RegressOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := verdictOf(t, rep, "allocs/op"); v.Verdict != VerdictImproved {
+		t.Errorf("-14%% allocs judged %q", v.Verdict)
+	}
+}
+
+func TestRegressNewGoneAndThinMetrics(t *testing.T) {
+	hist := fixtureHistory()[:1] // one run: below MinHistory
+	rep, err := Compare(hist, candidate(100_000, 210), RegressOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := verdictOf(t, rep, "sim_stores/s"); v.Verdict != VerdictNoHistory {
+		t.Errorf("single-run history judged %q", v.Verdict)
+	}
+
+	cand := candidate(100_000, 210)
+	cand.Benches[0].Metrics = append(cand.Benches[0].Metrics, BenchMetric{Name: "new_metric/s", Value: 1})
+	cand.Benches[0].Metrics = cand.Benches[0].Metrics[1:] // drop sim_stores/s
+	rep, err = Compare(fixtureHistory(), cand, RegressOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := verdictOf(t, rep, "new_metric/s"); v.Verdict != VerdictNewMetric {
+		t.Errorf("candidate-only metric judged %q", v.Verdict)
+	}
+	if v := verdictOf(t, rep, "sim_stores/s"); v.Verdict != VerdictGoneMetric {
+		t.Errorf("history-only metric judged %q", v.Verdict)
+	}
+	if rep.Failed() {
+		t.Error("new/gone metrics failed the gate")
+	}
+
+	if _, err := Compare(nil, candidate(1, 1), RegressOptions{}); err == nil {
+		t.Error("empty history accepted")
+	}
+}
+
+func TestRegressDirections(t *testing.T) {
+	cases := map[string]Direction{
+		"sim_stores/s":  HigherBetter,
+		"kv.commits/s":  HigherBetter,
+		"ns/op":         LowerBetter,
+		"B/op":          LowerBetter,
+		"allocs/op":     LowerBetter,
+		"stall_pct":     LowerBetter,
+		"flushes_total": Informational,
+	}
+	for name, want := range cases {
+		if got := MetricDirection(name); got != want {
+			t.Errorf("MetricDirection(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestRegressRenderDeterministic(t *testing.T) {
+	a, err := Compare(fixtureHistory(), candidate(90_000, 230), RegressOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compare(fixtureHistory(), candidate(90_000, 230), RegressOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := a.Render(true), b.Render(true)
+	if ra != rb {
+		t.Error("report rendering is nondeterministic")
+	}
+	if !strings.Contains(ra, "regressed") {
+		t.Errorf("report does not mention the regressions:\n%s", ra)
+	}
+	// Sorted by (bench, metric): allocs/op precedes sim_stores/s.
+	if ai, si := strings.Index(ra, "allocs/op"), strings.Index(ra, "sim_stores/s"); ai > si {
+		t.Error("verdicts not sorted by metric name")
+	}
+}

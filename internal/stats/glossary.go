@@ -82,6 +82,9 @@ var Glossary = map[string]string{
 	"kv.lat.get":     "histogram: get-request latency in cycles",
 	"kv.lat.put":     "histogram: put-request latency in cycles",
 	"kv.lat.scan":    "histogram: scan-request latency in cycles",
+	"kv.lat.win":     "windowed: per-time-window latency percentiles and SLO over-counts (bbbkv -timeline)",
+	"kv.lat.win.p50": "gauge: per-window median latency over time, projected from kv.lat.win",
+	"kv.lat.win.p99": "gauge: per-window p99 latency over time, projected from kv.lat.win",
 	"kv.queue_delay": "histogram: cycles a request waited before its batch opened",
 
 	// Durability provenance (tracing only): commit-to-durable matching.

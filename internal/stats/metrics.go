@@ -222,6 +222,8 @@ type Metrics struct {
 	horder []string
 	gauges map[string]*GaugeSeries
 	gorder []string
+	wins   map[string]*Windowed
+	worder []string
 }
 
 // NewMetrics returns an empty, enabled registry.
@@ -229,6 +231,7 @@ func NewMetrics() *Metrics {
 	return &Metrics{
 		hists:  make(map[string]*Histogram),
 		gauges: make(map[string]*GaugeSeries),
+		wins:   make(map[string]*Windowed),
 	}
 }
 
@@ -312,6 +315,44 @@ func (m *Metrics) MergeHist(name string, h *Histogram) {
 	dst.Merge(h)
 }
 
+// MergeWindowed folds a standalone windowed histogram into windowed metric
+// name, creating it if needed (adopting w's width and SLO bound). Like
+// MergeHist, this is the post-run fold for per-client measurements; the
+// name must be documented in Glossary — statlint audits MergeWindowed
+// sites as writes and Windowed calls as reads. Safe (and a no-op) on a nil
+// registry or nil w.
+func (m *Metrics) MergeWindowed(name string, w *Windowed) {
+	if m == nil || w == nil {
+		return
+	}
+	dst := m.wins[name]
+	if dst == nil {
+		dst = NewWindowed(w.BaseWidth(), w.SLO())
+		if m.wins == nil {
+			m.wins = make(map[string]*Windowed)
+		}
+		m.wins[name] = dst
+		m.worder = append(m.worder, name)
+	}
+	dst.Merge(w)
+}
+
+// Windowed returns windowed metric name, or nil if absent (or m is nil).
+func (m *Metrics) Windowed(name string) *Windowed {
+	if m == nil {
+		return nil
+	}
+	return m.wins[name]
+}
+
+// WindowedNames returns windowed metric names in first-touch order.
+func (m *Metrics) WindowedNames() []string {
+	if m == nil {
+		return nil
+	}
+	return append([]string(nil), m.worder...)
+}
+
 // Merge folds every histogram of other into m (gauge timelines are not
 // merged: interleaving two machines' timelines has no meaning).
 func (m *Metrics) Merge(other *Metrics) {
@@ -346,6 +387,11 @@ func (m *Metrics) String() string {
 	for _, n := range gnames {
 		fmt.Fprintf(&b, "%-32s %s\n", n, m.gauges[n].Summary())
 	}
+	wnames := m.WindowedNames()
+	sort.Strings(wnames)
+	for _, n := range wnames {
+		fmt.Fprintf(&b, "%-32s %s\n", n, m.wins[n].Summary())
+	}
 	return b.String()
 }
 
@@ -372,6 +418,11 @@ func (m *Metrics) StringWith(doc map[string]string) string {
 	sort.Strings(gnames)
 	for _, n := range gnames {
 		render(n, m.gauges[n].Summary())
+	}
+	wnames := m.WindowedNames()
+	sort.Strings(wnames)
+	for _, n := range wnames {
+		render(n, m.wins[n].Summary())
 	}
 	return b.String()
 }

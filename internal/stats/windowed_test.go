@@ -1,0 +1,183 @@
+package stats
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestWindowedBasic(t *testing.T) {
+	w := NewWindowed(100, 50)
+	// Window [0,100): 10, 60 (one over SLO). Window [200,300): 70, 80.
+	w.Observe(5, 10)
+	w.Observe(99, 60)
+	w.Observe(250, 70)
+	w.Observe(299, 80)
+	snaps := w.Snapshots()
+	if len(snaps) != 2 {
+		t.Fatalf("got %d windows, want 2: %+v", len(snaps), snaps)
+	}
+	if snaps[0].Start != 0 || snaps[0].Count != 2 || snaps[0].Over != 1 {
+		t.Errorf("window 0: %+v, want start=0 count=2 over=1", snaps[0])
+	}
+	if snaps[1].Start != 200 || snaps[1].Count != 2 || snaps[1].Over != 2 {
+		t.Errorf("window 1: %+v, want start=200 count=2 over=2", snaps[1])
+	}
+	if w.Total().Count() != 4 || w.OverSLO() != 3 {
+		t.Errorf("total count=%d over=%d, want 4 and 3", w.Total().Count(), w.OverSLO())
+	}
+	if snaps[1].Max != 80 {
+		t.Errorf("window 1 max=%d, want 80", snaps[1].Max)
+	}
+}
+
+func TestWindowedCoalesce(t *testing.T) {
+	w := NewWindowed(10, 0)
+	// One sample per 10-cycle window: 3x the cap forces two doublings.
+	n := 3 * windowedCap
+	for i := 0; i < n; i++ {
+		w.Observe(uint64(i)*10, uint64(i))
+	}
+	if w.Windows() > windowedCap {
+		t.Fatalf("retained %d windows, cap is %d", w.Windows(), windowedCap)
+	}
+	if w.Width() == w.BaseWidth() {
+		t.Fatalf("width never doubled at %d windows offered", n)
+	}
+	if w.Width()%w.BaseWidth() != 0 {
+		t.Fatalf("width %d is not a multiple of base %d", w.Width(), w.BaseWidth())
+	}
+	// No sample is lost to coalescing and alignment is preserved.
+	var count uint64
+	for _, s := range w.Snapshots() {
+		count += s.Count
+		if s.Start%w.Width() != 0 {
+			t.Fatalf("window start %d not aligned to width %d", s.Start, w.Width())
+		}
+	}
+	if count != uint64(n) {
+		t.Fatalf("windows hold %d samples, want %d", count, n)
+	}
+}
+
+// TestWindowedMergeOrderInvariant checks the fold used by service
+// workloads: merging per-client windowed histograms in any order produces
+// byte-identical state, including when clients coalesced to different
+// widths.
+func TestWindowedMergeOrderInvariant(t *testing.T) {
+	build := func(seed int64, n int, stride uint64) *Windowed {
+		w := NewWindowed(64, 100)
+		r := rand.New(rand.NewSource(seed))
+		cycle := uint64(0)
+		for i := 0; i < n; i++ {
+			cycle += uint64(r.Intn(int(stride)))
+			w.Observe(cycle, uint64(r.Intn(300)))
+		}
+		return w
+	}
+	// Client 2 spans far more windows, forcing a width mismatch at merge.
+	clients := []*Windowed{
+		build(1, 500, 16),
+		build(2, 500, 64),
+		build(3, 2*windowedCap, 512),
+	}
+	fold := func(order []int) *Windowed {
+		m := NewWindowed(64, 100)
+		for _, i := range order {
+			m.Merge(clients[i])
+		}
+		return m
+	}
+	a := fold([]int{0, 1, 2})
+	b := fold([]int{2, 0, 1})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("merge order changed the merged windowed state:\n%+v\nvs\n%+v", a.Snapshots(), b.Snapshots())
+	}
+	want := clients[0].Total().Count() + clients[1].Total().Count() + clients[2].Total().Count()
+	if a.Total().Count() != want {
+		t.Fatalf("merged total %d, want %d", a.Total().Count(), want)
+	}
+}
+
+func TestWindowedMergeShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging windowed histograms with different widths did not panic")
+		}
+	}()
+	a, b := NewWindowed(100, 0), NewWindowed(200, 0)
+	b.Observe(1, 1)
+	a.Merge(b)
+}
+
+func TestMetricsMergeWindowed(t *testing.T) {
+	m := NewMetrics()
+	a := NewWindowed(100, 10)
+	a.Observe(50, 5)
+	a.Observe(150, 20)
+	b := NewWindowed(100, 10)
+	b.Observe(60, 30)
+	m.MergeWindowed("svc.lat.win", a)
+	m.MergeWindowed("svc.lat.win", b)
+	w := m.Windowed("svc.lat.win")
+	if w == nil {
+		t.Fatal("windowed metric not registered")
+	}
+	if w.Total().Count() != 3 || w.OverSLO() != 2 {
+		t.Fatalf("merged total=%d over=%d, want 3 and 2", w.Total().Count(), w.OverSLO())
+	}
+	if got := m.WindowedNames(); len(got) != 1 || got[0] != "svc.lat.win" {
+		t.Fatalf("WindowedNames = %v", got)
+	}
+	// Nil registry and nil donor are no-ops.
+	var nilm *Metrics
+	nilm.MergeWindowed("svc.lat.win", a)
+	if nilm.Windowed("svc.lat.win") != nil || nilm.WindowedNames() != nil {
+		t.Fatal("nil registry is not inert")
+	}
+	m.MergeWindowed("svc.lat.win", nil)
+}
+
+// TestGaugeSeriesDecimationCampaignScale drives a gauge timeline with far
+// more points than the decimation budget (>=10x gaugeCap, the shape of a
+// campaign-scale run) and checks the decimation invariants: the retained
+// set is bounded, stride-sampled deterministically, identical across
+// identical runs, and still spans the full timeline.
+func TestGaugeSeriesDecimationCampaignScale(t *testing.T) {
+	const offers = 12 * gaugeCap // 98304 >= 10x the decimation budget
+	build := func() *GaugeSeries {
+		g := &GaugeSeries{}
+		for i := 0; i < offers; i++ {
+			g.Record(uint64(i)*7, 0, uint64(i%257))
+		}
+		return g
+	}
+	a, b := build(), build()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical offer streams produced different decimated series")
+	}
+	pts := a.Points()
+	if len(pts) == 0 || len(pts) > gaugeCap {
+		t.Fatalf("retained %d points, want (0, %d]", len(pts), gaugeCap)
+	}
+	if a.Count() != offers {
+		t.Fatalf("offer count %d, want %d", a.Count(), offers)
+	}
+	// Retained points are exactly the offers at stride boundaries: cycles
+	// strictly increase and neighbours sit a fixed offer stride apart.
+	stride := pts[1].Cycle - pts[0].Cycle
+	for i := 1; i < len(pts); i++ {
+		if d := pts[i].Cycle - pts[i-1].Cycle; d != stride {
+			t.Fatalf("point %d: stride %d, want %d (decimation must resample uniformly)", i, d, stride)
+		}
+	}
+	// Full-timeline coverage at reduced resolution: the last retained
+	// point sits within one stride of the final offer.
+	last := pts[len(pts)-1].Cycle
+	if final := uint64(offers-1) * 7; last+stride <= final {
+		t.Fatalf("timeline coverage ends at %d, final offer at %d (stride %d)", last, final, stride)
+	}
+	if a.Last().Value != uint64((offers-1)%257) {
+		t.Fatalf("Last() = %+v, want final offered value", a.Last())
+	}
+}

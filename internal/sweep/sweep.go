@@ -86,3 +86,12 @@ func Map[T any](workers, n int, task func(i int) T) []T {
 	Run(workers, n, func(i int) { out[i] = task(i) })
 	return out
 }
+
+// RunIndices is Run over an explicit index list: task(idx[0]), ...,
+// task(idx[len-1]) with the same claiming, panic-propagation and
+// determinism contract (the lowest-positioned failed task's panic wins).
+// The campaign driver uses it to execute only a checkpoint's pending
+// points while keeping slots addressed by original point index.
+func RunIndices(workers int, idx []int, task func(i int)) {
+	Run(workers, len(idx), func(k int) { task(idx[k]) })
+}

@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"bbb/internal/stats"
+)
+
+// WriteMetricsPerfetto renders a run's Metrics registry — gauge timelines
+// and windowed latency series — as Perfetto counter tracks, the
+// time-series companion to WritePerfetto's event export. Output order is
+// the registries' (registration order, then sample order), so exports of
+// the same run are byte-identical.
+//
+//   - Every GaugeSeries becomes one counter track per sampled core
+//     ("<name>" machine-wide, "<name> c<core>" per core), e.g. the bbPB
+//     occupancy timeline or kv.lat.win.p50.
+//   - Every Windowed series becomes two counter tracks stamped at each
+//     window's end: "<name> count" (samples in the window) and
+//     "<name> over_slo" (samples beyond the SLO bound).
+func WriteMetricsPerfetto(w io.Writer, m *stats.Metrics, meta PerfettoMeta) error {
+	proc := meta.Process
+	if proc == "" {
+		proc = "bbb-metrics"
+	}
+	ew := &entryWriter{w: w}
+	ew.begin()
+	ew.entry(pfEvent{Ph: "M", Pid: 0, Tid: 0, Name: "process_name", Args: pfNameArgs{Name: proc}})
+	for _, name := range m.GaugeNames() {
+		g := m.Gauge(name)
+		for _, pt := range g.Points() {
+			track := name
+			if pt.Core >= 0 {
+				track = fmt.Sprintf("%s c%d", name, pt.Core)
+			}
+			ew.entry(pfEvent{Ph: "C", Pid: 0, Tid: 0, Ts: pt.Cycle, Name: track,
+				Args: pfCounterArgs{Value: pt.Value}})
+		}
+	}
+	for _, name := range m.WindowedNames() {
+		win := m.Windowed(name)
+		width := win.Width()
+		for _, snap := range win.Snapshots() {
+			end := snap.Start + width - 1
+			ew.entry(pfEvent{Ph: "C", Pid: 0, Tid: 0, Ts: end, Name: name + " count",
+				Args: pfCounterArgs{Value: snap.Count}})
+			ew.entry(pfEvent{Ph: "C", Pid: 0, Tid: 0, Ts: end, Name: name + " over_slo",
+				Args: pfCounterArgs{Value: snap.Over}})
+		}
+	}
+	ew.end()
+	return ew.err
+}

@@ -21,9 +21,10 @@
 // "writes" nested inside the Inc/Add/Lazy argument satisfies reads and
 // registrations of any "<prefix>.writes".
 //
-// The histogram/gauge registry (stats.Metrics) shares the namespace and
-// the failure mode, so it is audited the same way: Observe/Sample are
-// write sites (like Inc/Add) and Hist/Gauge are read sites (like Get).
+// The histogram/gauge/windowed registry (stats.Metrics) shares the
+// namespace and the failure mode, so it is audited the same way:
+// Observe/Sample/MergeHist/MergeWindowed are write sites (like Inc/Add)
+// and Hist/Gauge/Windowed are read sites (like Get).
 //
 // Reads in _test.go files count (a counter asserted by a test is consumed);
 // test sources are scanned syntactically for Get/Hist/Gauge calls.
@@ -47,9 +48,9 @@ var Analyzer = &vet.Analyzer{
 	Name: "statlint",
 	Doc: `	statlint: dead / misspelled stats counters and metrics.
 	Every incremented counter (Counters.Inc/Add/Lazy) and observed metric
-	(Metrics.Observe/Sample) must be documented in stats.Glossary or read
-	back (Get/Hist/Gauge); every read and every Glossary entry must name
-	one some code writes.`,
+	(Metrics.Observe/Sample/MergeHist/MergeWindowed) must be documented in
+	stats.Glossary or read back (Get/Hist/Gauge/Windowed); every read and
+	every Glossary entry must name one some code writes.`,
 	Run:    run,
 	Finish: finish,
 }
@@ -118,10 +119,12 @@ func recordCall(info *types.Info, call *ast.CallExpr, fx *facts, pass *vet.Pass)
 		write = fn.Name() == "Inc" || fn.Name() == "Add" || fn.Name() == "Lazy"
 		read = fn.Name() == "Get"
 	case isStatsMethod(fn, "Metrics"):
-		// The histogram/gauge registry shares the stringly-typed namespace:
-		// Observe/Sample/MergeHist write a metric, Hist/Gauge read it back.
-		write = fn.Name() == "Observe" || fn.Name() == "Sample" || fn.Name() == "MergeHist"
-		read = fn.Name() == "Hist" || fn.Name() == "Gauge"
+		// The histogram/gauge/windowed registry shares the stringly-typed
+		// namespace: Observe/Sample/MergeHist/MergeWindowed write a metric,
+		// Hist/Gauge/Windowed read it back.
+		write = fn.Name() == "Observe" || fn.Name() == "Sample" ||
+			fn.Name() == "MergeHist" || fn.Name() == "MergeWindowed"
+		read = fn.Name() == "Hist" || fn.Name() == "Gauge" || fn.Name() == "Windowed"
 	}
 	arg := call.Args[0]
 	switch {
@@ -285,7 +288,8 @@ func testFileGets(pass *vet.Pass) []site {
 				return true
 			}
 			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok || (sel.Sel.Name != "Get" && sel.Sel.Name != "Hist" && sel.Sel.Name != "Gauge") {
+			if !ok || (sel.Sel.Name != "Get" && sel.Sel.Name != "Hist" &&
+				sel.Sel.Name != "Gauge" && sel.Sel.Name != "Windowed") {
 				return true
 			}
 			if lit := stringLit(call.Args[0]); lit != "" {

@@ -12,6 +12,7 @@ var Glossary = map[string]string{
 	"hist.documented": "documented and observed via stats.Metrics: fine",
 	"ops.documented":  "documented and incremented: consumed via the registry",
 	"ops.stale":       "nothing increments this name", // want "stats.Glossary documents .ops.stale. but nothing increments it"
+	"win.listed":      "documented and folded via MergeWindowed: fine",
 }
 
 type engine struct {

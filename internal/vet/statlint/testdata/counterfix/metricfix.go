@@ -16,12 +16,30 @@ func (mt *meter) observe() {
 	mt.m.Sample("gauge.read", 10, 0, 3) // Gauge below: fine
 }
 
+// fold is the post-run service fold: MergeHist and MergeWindowed are write
+// sites exactly like Observe/Sample.
+func (mt *meter) fold(h *stats.Histogram, w *stats.Windowed) {
+	mt.m.MergeHist("hist.folded", h)    // Hist below: fine
+	mt.m.MergeWindowed("win.read", w)   // Windowed below: fine
+	mt.m.MergeWindowed("win.dead", w)   // want "counter .win.dead. is incremented but never read and not documented"
+	mt.m.MergeWindowed("win.listed", w) // in the Glossary: fine
+}
+
 func (mt *meter) view() int {
 	if mt.m.Gauge("gauge.read") != nil {
 		return 1
 	}
 	if mt.m.Hist("hist.typo") != nil { // want "counter .hist.typo. is read but never incremented"
 		return 2
+	}
+	if mt.m.Hist("hist.folded") != nil {
+		return 3
+	}
+	if mt.m.Windowed("win.read") != nil {
+		return 4
+	}
+	if mt.m.Windowed("win.typo") != nil { // want "counter .win.typo. is read but never incremented"
+		return 5
 	}
 	return 0
 }

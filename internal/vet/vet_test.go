@@ -117,6 +117,36 @@ func TestLitmusZeroSuppressions(t *testing.T) {
 	}
 }
 
+// TestObsZeroSuppressions holds the campaign observability plane to the
+// crashmc bar: the full analyzer set over internal/obs must report
+// nothing, with zero //bbbvet:ignore directives. The ledger's run IDs,
+// point digests and campaign summaries are what kill-and-resume
+// byte-identity is judged against, so a determinism leak there (map-order
+// iteration, wall-clock reads) would quietly invalidate every resumed
+// campaign — host provenance enters only through the HostInfo/Clock
+// parameters cmd-side callers pass in.
+func TestObsZeroSuppressions(t *testing.T) {
+	pkgs, fset, err := vet.Load("", "bbb/internal/obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzers := []*vet.Analyzer{
+		locklint.Analyzer, detlint.Analyzer, statlint.Analyzer,
+		cyclelint.Analyzer, persistlint.Analyzer,
+	}
+	diags, err := vet.RunAll(pkgs, fset, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if d.Ignored {
+			t.Errorf("internal/obs carries a suppression (the package must stay clean without them): %s", d)
+		} else {
+			t.Errorf("internal/obs finding: %s", d)
+		}
+	}
+}
+
 // TestLoadModulePackages smoke-tests the hermetic loader against the real
 // module: the engine package must load, type-check, and expose its types.
 func TestLoadModulePackages(t *testing.T) {

@@ -36,13 +36,21 @@ func Run(w Workload, s persistency.Scheme, cfg system.Config, p Params) system.R
 	sys, progs := Build(w, s, cfg, p)
 	defer sys.Shutdown()
 	res := sys.Run(progs)
+	FoldServiceMetrics(w, &res)
+	return res
+}
+
+// FoldServiceMetrics merges w's application-level measurements into
+// res.Metrics when w implements ServiceMetrics, creating the registry if
+// the run had tracing off. Harnesses that Build and drive the machine
+// themselves (tracing, checking) call it to match Run's behaviour.
+func FoldServiceMetrics(w Workload, res *system.Result) {
 	if sm, ok := w.(ServiceMetrics); ok {
 		if res.Metrics == nil {
 			res.Metrics = stats.NewMetrics()
 		}
 		sm.MergeServiceMetrics(res.Metrics)
 	}
-	return res
 }
 
 // BuildToCrash executes the workload until crashCycle (or completion,

@@ -48,6 +48,11 @@ type Params struct {
 	// this many cycles before the commit that makes the batch durable.
 	// Zero uses the workload's default. Table IV workloads ignore it.
 	BatchWindow engine.Cycle
+	// SLOTarget is the service tier's latency objective in cycles: the
+	// windowed latency series (kv.lat.win) counts requests over this
+	// target per time window, which is what the CLIs render as SLO burn.
+	// Zero uses the workload's default. Table IV workloads ignore it.
+	SLOTarget uint64
 }
 
 // DefaultParams mirrors the paper's setup at a simulation-friendly scale.

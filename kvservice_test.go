@@ -1,6 +1,7 @@
 package bbb
 
 import (
+	"io"
 	"reflect"
 	"testing"
 
@@ -46,6 +47,33 @@ func TestKVServiceLatencyGolden(t *testing.T) {
 	}
 	if r := p99(eadr) / p99(bbb); r < 0.8 || r > 1.25 {
 		t.Errorf("p99 ratio eadr/bbb = %.2f, want ~1 (both battery-complete)", r)
+	}
+}
+
+// TestKVServiceStreamingCarriesServiceMetrics pins that the tracing
+// harnesses fold service metrics the same way Run does: a kv run through
+// RunStreaming (the bbbkv -trace-out path) must surface the kv.* histograms
+// and the kv.lat.win timeline, identical to the plain run's.
+func TestKVServiceStreamingCarriesServiceMetrics(t *testing.T) {
+	o := Options{Clients: 2, OpsPerThread: 60, Seed: 1}
+	plain := MustRun("kv", SchemeBBB, o)
+	streamed, err := RunStreaming("kv", SchemeBBB, o, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []Result{plain, streamed} {
+		if r.Metrics == nil || r.Metrics.Hist("kv.lat") == nil {
+			t.Fatal("run missing kv.lat histogram")
+		}
+		if r.Metrics.Windowed("kv.lat.win") == nil {
+			t.Fatal("run missing kv.lat.win windowed series")
+		}
+	}
+	if a, b := plain.Metrics.Hist("kv.lat"), streamed.Metrics.Hist("kv.lat"); !reflect.DeepEqual(a, b) {
+		t.Fatalf("streamed kv.lat differs from plain run's:\n%+v\n%+v", a, b)
+	}
+	if a, b := plain.Metrics.Windowed("kv.lat.win").Snapshots(), streamed.Metrics.Windowed("kv.lat.win").Snapshots(); !reflect.DeepEqual(a, b) {
+		t.Fatalf("streamed kv.lat.win differs from plain run's:\n%+v\n%+v", a, b)
 	}
 }
 
